@@ -1,0 +1,31 @@
+.PHONY: all build test bench bench-quick examples doc clean loc
+
+all: build test
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/nf_isolation.exe
+	dune exec examples/secure_store.exe
+	dune exec examples/firewall_checkpoint.exe
+	dune exec examples/session_rpc.exe
+
+clean:
+	dune clean
+
+loc:
+	@find lib test bench bin examples -name '*.ml' -o -name '*.mli' | xargs wc -l | tail -1

@@ -1,0 +1,50 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md §4 for the experiment index) and
+   finishes with Bechamel wall-clock microbenchmarks.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full trials
+     dune exec bench/main.exe -- fig2 fig3    # selected experiments
+     dune exec bench/main.exe -- --quick      # everything, reduced trials
+     dune exec bench/main.exe -- --list       # available ids *)
+
+let wallclock_entry =
+  {
+    Experiments.Registry.id = "wallclock";
+    description = "Bechamel wall-clock microbenchmarks";
+    run = (fun ~quick:_ -> Wallclock.run ());
+  }
+
+let experiments = Experiments.Registry.all @ [ wallclock_entry ]
+
+let find id = List.find_opt (fun e -> String.equal e.Experiments.Registry.id id) experiments
+
+let run_one ~quick (e : Experiments.Registry.entry) =
+  Printf.printf "==== %s: %s ====\n" e.id e.description;
+  e.run ~quick;
+  print_newline ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  if List.mem "--list" args then
+    List.iter
+      (fun (e : Experiments.Registry.entry) -> Printf.printf "%-16s %s\n" e.id e.description)
+      experiments
+  else if ids <> [] then
+    List.iter
+      (fun id ->
+        match find id with
+        | Some e -> run_one ~quick e
+        | None ->
+          Printf.eprintf "unknown experiment %s (try --list)\n" id;
+          exit 1)
+      ids
+  else begin
+    print_endline
+      "Reproducing every table/figure of 'System Programming in Rust: Beyond Safety'";
+    print_endline "(virtual-clock cycles from the deterministic cost model; see DESIGN.md)";
+    print_newline ();
+    List.iter (run_one ~quick) experiments
+  end

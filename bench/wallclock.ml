@@ -1,0 +1,130 @@
+(* Bechamel wall-clock microbenchmarks.
+
+   The experiment tables are produced by the deterministic cycle model;
+   these benches measure the same operations in real nanoseconds on the
+   host, as a sanity check that relative ordering survives outside the
+   simulator (absolute values are host-dependent and not comparable
+   with the paper's Xeon numbers). One Test.make per paper artefact. *)
+
+open Bechamel
+open Toolkit
+
+let make_counter_rref () =
+  let mgr = Sfi.Manager.create () in
+  let d = Sfi.Manager.create_domain mgr ~name:"svc" () in
+  Sfi.Rref.create d ~label:"counter" (ref 0)
+
+(* E1/Figure 2: the protected call itself. *)
+let bench_rref_invoke =
+  let rref = make_counter_rref () in
+  Test.make ~name:"fig2: rref invoke (protected call)"
+    (Staged.stage (fun () ->
+         match Sfi.Rref.invoke rref (fun c -> incr c) with
+         | Ok () -> ()
+         | Error _ -> assert false))
+
+let bench_direct_call =
+  let c = ref 0 in
+  let f = Sys.opaque_identity (fun () -> incr c) in
+  Test.make ~name:"fig2: plain function call (baseline)" (Staged.stage (fun () -> f ()))
+
+(* E3: catch + recover. *)
+let bench_recovery =
+  let mgr = Sfi.Manager.create () in
+  let d =
+    Sfi.Manager.create_domain mgr ~name:"flaky"
+      ~recovery:(fun _ -> ())
+      ()
+  in
+  Test.make ~name:"e3: panic catch + domain recovery"
+    (Staged.stage (fun () ->
+         (match Sfi.Pdomain.execute d (fun () -> Sfi.Panic.panic "x") with
+         | Error _ -> ()
+         | Ok _ -> assert false);
+         match Sfi.Manager.recover mgr d with
+         | Ok () -> ()
+         | Error _ -> assert false))
+
+(* E4: one batch through the Maglev NF, direct vs isolated. *)
+let make_pipeline mode_of_env =
+  let env = Experiments.Env.make () in
+  let _mg, stages = Experiments.Env.maglev_nf env in
+  let pipe =
+    Netstack.Pipeline.create ~engine:env.Experiments.Env.engine ~mode:(mode_of_env env) stages
+  in
+  (env, pipe)
+
+let bench_pipeline name mode_of_env =
+  let env, pipe = make_pipeline mode_of_env in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let b = Netstack.Nic.rx_batch env.Experiments.Env.nic 32 in
+         match Netstack.Pipeline.process pipe b with
+         | Ok out -> ignore (Netstack.Nic.tx_batch env.Experiments.Env.nic out)
+         | Error _ -> assert false))
+
+let bench_maglev_lookup =
+  let clock = Cycles.Clock.create () in
+  let mg = Netstack.Maglev.create ~clock ~backends:Experiments.Env.maglev_backends () in
+  let rng = Cycles.Rng.create 3L in
+  let traffic = Netstack.Traffic.create ~rng (Netstack.Traffic.Uniform { flows = 1024 }) in
+  Test.make ~name:"e4: maglev lookup (per flow)"
+    (Staged.stage (fun () -> ignore (Netstack.Maglev.lookup mg (Netstack.Traffic.next_flow traffic))))
+
+(* E5/E6: verification passes. *)
+let bench_verify name strategy program =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         match Ifc.Verifier.verify ~strategy program with
+         | Ok _ -> ()
+         | Error _ -> assert false))
+
+(* E8/E9: checkpointing the firewall DB. *)
+let bench_checkpoint name strategy =
+  let db =
+    Experiments.Ckpt_cost.make_database ~rng:(Cycles.Rng.create 7L) ~rules:500 ~alias_factor:2
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Chkpt.Checkpointable.checkpoint ~strategy Chkpt.Trie.desc db)))
+
+let tests =
+  Test.make_grouped ~name:"beyond-safety" ~fmt:"%s %s"
+    [
+      bench_direct_call;
+      bench_rref_invoke;
+      bench_recovery;
+      bench_pipeline "e4: maglev NF batch, direct" (fun _ -> Netstack.Pipeline.Direct);
+      bench_pipeline "e4: maglev NF batch, isolated" (fun env ->
+          Netstack.Pipeline.Isolated env.Experiments.Env.manager);
+      bench_maglev_lookup;
+      bench_verify "e5: verify buffer (exact)" Ifc.Verifier.Exact Ifc.Examples.buffer_leak_safe;
+      bench_verify "e6: verify store-32 (exact/inline)" Ifc.Verifier.Exact
+        (Ifc.Examples.secure_store ~clients:32 ());
+      bench_verify "e6: verify store-32 (compositional)" Ifc.Verifier.Compositional
+        (Ifc.Examples.secure_store ~clients:32 ());
+      bench_verify "e6: verify store-32 (andersen)" Ifc.Verifier.Andersen
+        (Ifc.Examples.secure_store ~clients:32 ());
+      bench_checkpoint "fig3: checkpoint 500-rule DB (rc flag)" Chkpt.Checkpointable.Rc_flag;
+      bench_checkpoint "fig3: checkpoint 500-rule DB (addr set)" Chkpt.Checkpointable.Addr_set;
+      bench_checkpoint "fig3: checkpoint 500-rule DB (naive)" Chkpt.Checkpointable.Naive;
+    ]
+
+let run () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Wall-clock microbenchmarks (Bechamel, monotonic clock):";
+  print_endline "  (host-dependent; the cycle-model tables above are the paper comparison)";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-45s %12.1f ns/run\n" name ns)
+    (List.sort compare !rows)

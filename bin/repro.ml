@@ -1,0 +1,123 @@
+(* The `repro` command-line tool: run any of the paper's experiments by
+   id. `repro list` enumerates them; `repro run fig2 fig3` reproduces
+   Figure 2 and Figure 3; `repro run --quick` runs everything fast. *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the available experiments (one per paper table/figure)." in
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Printf.printf "%-16s %s\n" e.Experiments.Registry.id e.Experiments.Registry.description)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments (all of them when none is named)." in
+  let ids =
+    let doc = "Experiment ids (see $(b,repro list))." in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let quick =
+    let doc = "Reduced trial counts and sweep sizes (for quick runs / CI)." in
+    Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+  in
+  let run quick ids =
+    let entries =
+      match ids with
+      | [] -> Ok Experiments.Registry.all
+      | ids ->
+        let missing = List.filter (fun id -> Experiments.Registry.find id = None) ids in
+        if missing <> [] then
+          Error (Printf.sprintf "unknown experiment(s): %s" (String.concat ", " missing))
+        else
+          Ok (List.filter_map Experiments.Registry.find ids)
+    in
+    match entries with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok entries ->
+      List.iter
+        (fun (e : Experiments.Registry.entry) ->
+          Printf.printf "==== %s: %s ====\n" e.Experiments.Registry.id
+            e.Experiments.Registry.description;
+          e.Experiments.Registry.run ~quick;
+          print_newline ())
+        entries
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick $ ids)
+
+let verify_cmd =
+  let doc =
+    "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
+     (ownership) checking plus information-flow analysis, with the strategy chosen by the \
+     program's dialect unless overridden."
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Mir source file.")
+  in
+  let strategy =
+    let strategy_conv =
+      Arg.enum
+        [
+          ("exact", Ifc.Verifier.Exact);
+          ("compositional", Ifc.Verifier.Compositional);
+          ("naive", Ifc.Verifier.Naive_no_alias);
+          ("andersen", Ifc.Verifier.Andersen);
+        ]
+    in
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+          ~doc:"Analysis strategy: exact, compositional, naive, or andersen.")
+  in
+  let execute =
+    Arg.(
+      value & flag
+      & info [ "execute"; "x" ]
+          ~doc:"Also run the program and report the dynamic events/leaks (ground truth).")
+  in
+  let run strategy execute file =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Ifc.Parse.program source with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file (Ifc.Parse.error_to_string e);
+      exit 2
+    | Ok program -> (
+      match Ifc.Verifier.verify ?strategy program with
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 2
+      | Ok report ->
+        Format.printf "%s:@.%a@." file Ifc.Verifier.pp_report report;
+        if execute then begin
+          match Ifc.Interp.run program with
+          | outcome ->
+            Printf.printf "dynamic: %d output event(s), %d leak(s)\n"
+              (List.length outcome.Ifc.Interp.events)
+              (List.length outcome.Ifc.Interp.leaks);
+            List.iter
+              (fun (leak : Ifc.Interp.event) ->
+                Printf.printf "  LEAK at line %d on `%s': taint %s\n" leak.Ifc.Interp.eline
+                  leak.Ifc.Interp.channel
+                  (Ifc.Label.to_string (Ifc.Interp.event_taint leak)))
+              outcome.Ifc.Interp.leaks
+          | exception Ifc.Interp.Runtime_error { line; message } ->
+            Printf.printf "dynamic: trapped at line %d: %s\n" line message
+        end;
+        (match report.Ifc.Verifier.verdict with
+        | Ifc.Verifier.Verified -> exit 0
+        | Ifc.Verifier.Rejected -> exit 1))
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ strategy $ execute $ file)
+
+let () =
+  let doc =
+    "Reproduce the evaluation of 'System Programming in Rust: Beyond Safety' (HotOS '17)"
+  in
+  let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; verify_cmd ]))

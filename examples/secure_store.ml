@@ -1,0 +1,65 @@
+(* Information flow control end to end — the §4 story.
+
+     dune exec examples/secure_store.exe
+
+   Shows the paper's Buffer listing (with its real line numbers), runs
+   every analysis over it, demonstrates that the aliasing exploit
+   genuinely leaks in the conventional dialect, then verifies the
+   secure multi-client store and hunts the seeded access-control bug. *)
+
+open Beyond_safety
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let show_verdict name program strategy =
+  match Ifc.Verifier.verify ~strategy program with
+  | Error e -> Printf.printf "%s: error: %s\n" name e
+  | Ok r ->
+    Printf.printf "%s [%s]: %s\n" name
+      (Ifc.Verifier.strategy_name strategy)
+      (match r.Ifc.Verifier.verdict with
+      | Ifc.Verifier.Verified -> "VERIFIED"
+      | Ifc.Verifier.Rejected -> "REJECTED");
+    List.iter
+      (fun v -> Printf.printf "   ownership: %s\n" (Ifc.Ownership.violation_to_string v))
+      r.Ifc.Verifier.ownership_errors;
+    List.iter
+      (fun f -> Printf.printf "   flow:      %s\n" (Ifc.Abstract.finding_to_string f))
+      r.Ifc.Verifier.findings
+
+let () =
+  heading "The paper's Buffer program (lines 9-17, safe dialect)";
+  Format.printf "%a@." Ifc.Ast.pp_program Ifc.Examples.buffer_exploit_safe;
+
+  heading "Static analysis of the safe-dialect programs";
+  show_verdict "direct leak (lines 9-16)" Ifc.Examples.buffer_leak_safe Ifc.Verifier.Exact;
+  show_verdict "alias exploit (line 17)" Ifc.Examples.buffer_exploit_safe Ifc.Verifier.Exact;
+  show_verdict "benign variant" Ifc.Examples.buffer_benign_safe Ifc.Verifier.Exact;
+
+  heading "The same exploit in a conventional (aliased) language";
+  let exploit = Ifc.Examples.buffer_exploit_aliased in
+  let outcome = Ifc.Interp.run exploit in
+  (match outcome.Ifc.Interp.leaks with
+  | [ leak ] ->
+    let values = List.map (fun e -> e.Ifc.Interp.value) leak.Ifc.Interp.data in
+    Printf.printf "executing it really leaks: line %d discloses %s (taint %s)\n"
+      leak.Ifc.Interp.eline
+      (String.concat "," (List.map string_of_int values))
+      (Ifc.Label.to_string (Ifc.Interp.event_taint leak))
+  | _ -> assert false);
+  show_verdict "conventional, alias step skipped" exploit Ifc.Verifier.Naive_no_alias;
+  show_verdict "conventional, Andersen points-to" exploit Ifc.Verifier.Andersen;
+
+  heading "The secure multi-client data store";
+  let clients = 6 in
+  show_verdict "clean store" (Ifc.Examples.secure_store ~clients ()) Ifc.Verifier.Exact;
+  show_verdict "clean store"
+    (Ifc.Examples.secure_store ~clients ())
+    Ifc.Verifier.Compositional;
+  let buggy = Ifc.Examples.secure_store ~bug:true ~clients () in
+  show_verdict "store with seeded bug" buggy Ifc.Verifier.Exact;
+  Printf.printf "(the seeded bug lives at line %d)\n" (Ifc.Examples.bug_line ~clients);
+  let o = Ifc.Interp.run buggy in
+  Printf.printf "dynamic confirmation: %d leaking output event(s)\n"
+    (List.length o.Ifc.Interp.leaks)

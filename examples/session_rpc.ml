@@ -1,0 +1,87 @@
+(* Session-typed RPC between protection domains.
+
+     dune exec examples/session_rpc.exe
+
+   The §2 related-work angle made concrete: a lookup protocol whose
+   shape — request, then either a hit carrying the value or a miss —
+   is fixed by the session type, so a peer that skips a step or
+   replies twice does not typecheck; and whose endpoints are linear,
+   so replaying a consumed endpoint raises an ownership violation.
+   The server runs inside an SFI protection domain on its own OCaml
+   domain: a panic in the handler is contained there and surfaces to
+   the client as a missing reply, not a crash. *)
+
+open Beyond_safety
+
+(* Client view:  send key, then the server chooses:
+     left  = hit:  receive the value, stop
+     right = miss: stop.
+   The server's protocol is the dual, produced by the same witness. *)
+let protocol =
+  Linear.Session.(Send (Offer (Recv Stop, Stop)))
+
+let database = [ ("rust", "beyond safety"); ("ocaml", "this repo") ]
+
+let serve_one domain endpoint =
+  (* One request, handled inside the protection domain. *)
+  Sfi.Pdomain.execute domain (fun () ->
+      let key, ep = Linear.Session.recv endpoint in
+      if String.equal key "panic" then Sfi.Panic.panic "poisoned key";
+      match List.assoc_opt key database with
+      | Some value ->
+        let ep = Linear.Session.choose_left ep in
+        let ep = Linear.Session.send ep value in
+        Linear.Session.close ep
+      | None ->
+        let ep = Linear.Session.choose_right ep in
+        Linear.Session.close ep)
+
+let request domain key =
+  let client, server = Linear.Session.create protocol in
+  let worker = Domain.spawn (fun () -> serve_one domain server) in
+  let client = Linear.Session.send client key in
+  (* If the server panicked, no selection ever arrives; don't block
+     forever in the demo — join the worker first and bail on failure. *)
+  match Domain.join worker with
+  | Error e ->
+    Printf.printf "%-8s -> server failed: %s\n" key (Sfi.Sfi_error.to_string e);
+    `Server_failed
+  | Ok () -> (
+    match Linear.Session.offer client with
+    | Either.Left client ->
+      let value, client = Linear.Session.recv client in
+      Linear.Session.close client;
+      Printf.printf "%-8s -> hit: %s\n" key value;
+      `Hit value
+    | Either.Right client ->
+      Linear.Session.close client;
+      Printf.printf "%-8s -> miss\n" key;
+      `Miss)
+
+let () =
+  let mgr = Sfi.Manager.create () in
+  let server_domain = Sfi.Manager.create_domain mgr ~name:"kv-server" () in
+  ignore (request server_domain "rust");
+  ignore (request server_domain "ocaml");
+  ignore (request server_domain "zig");
+  (* A poisoned request panics the handler; the fault stays inside the
+     server's protection domain. *)
+  ignore (request server_domain "panic");
+  (match Sfi.Pdomain.state server_domain with
+  | Sfi.Pdomain.Failed _ -> print_endline "server domain is Failed, as expected"
+  | _ -> print_endline "unexpected server state");
+  (match Sfi.Manager.recover mgr server_domain with
+  | Ok () -> print_endline "recovered; service resumes:"
+  | Error e -> Printf.printf "recovery failed: %s\n" e);
+  ignore (request server_domain "rust");
+  (* Linearity: replaying a consumed endpoint is an ownership error. *)
+  let client, server = Linear.Session.create protocol in
+  let _sent = Linear.Session.send client "once" in
+  (match Linear.Session.send client "twice" with
+  | exception Linear.Lin_error.Ownership_violation v ->
+    Printf.printf "replay rejected: %s\n" (Linear.Lin_error.violation_to_string v)
+  | _ -> assert false);
+  (* Tidy up the dangling peer endpoint. *)
+  let _k, server = Linear.Session.recv server in
+  let server = Linear.Session.choose_right server in
+  Linear.Session.close server

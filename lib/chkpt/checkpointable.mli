@@ -1,0 +1,129 @@
+(** Automatic checkpointing of arbitrary pointer-linked data structures
+    — the paper's §5 library.
+
+    A ['a t] is a {e descriptor} of the type ['a]: how to traverse it
+    and deep-copy it. Descriptors are built inductively from
+    combinators, playing the role of the paper's compiler plugin that
+    "inductively generates an implementation of this trait for types
+    comprised of scalar values and references to other checkpointable
+    types". The {!rc} combinator is the custom implementation for
+    reference-counted (i.e. aliased) nodes.
+
+    Copying strategy is where the paper's point lives:
+
+    - {!Naive} — traverse unique references blindly {e and} treat [Rc]
+      like any other edge: a node reachable through two aliases is
+      copied twice (Figure 3b — the snapshot is {e wrong}, not just
+      slow: restoring it silently un-shares state).
+    - {!Addr_set} — the conventional-language fix: a hash table of
+      visited node identities, consulted for {e every} shared node
+      (cost: one lookup per encounter, counted in {!stats}).
+    - {!Rc_flag} — the paper's approach: because aliasing is explicit
+      in the type ([rc] edges and nowhere else), only [Rc] wrappers
+      participate in deduplication, via an O(1) generation-stamped
+      scratch word in the cell itself ("sets an internal flag the
+      first time checkpoint() is called") — zero hash lookups, and
+      unique references are traversed with no checks at all.
+
+    All strategies produce a fully independent copy; with [Addr_set]
+    and [Rc_flag] the copy preserves the original's sharing
+    structure. *)
+
+type 'a t
+
+(** {2 Combinators (the "derive")} *)
+
+val int : int t
+val bool : bool t
+val string : string t
+val unit : unit t
+
+val list : 'a t -> 'a list t
+val array : 'a t -> 'a array t
+val option : 'a t -> 'a option t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val mref : 'a t -> 'a ref t
+(** A uniquely-owned mutable cell: copied without any visited check —
+    the safe-Rust default. *)
+
+val immutable : 'a t
+(** A value the program never mutates (what Rust derives for [Copy] /
+    frozen types): shared into the copy as-is. Using it on mutable
+    state silently aliases the snapshot — the caller asserts
+    immutability, exactly as a [derive] annotation would. *)
+
+val iso : inject:('a -> 'b) -> project:('b -> 'a) -> 'b t -> 'a t
+(** Derive a descriptor for ['a] through an isomorphism with ['b]
+    (records/variants are checkpointed via their component tuples). *)
+
+val rc : 'a t -> 'a Linear.Rc.t t
+(** The custom implementation for explicitly-aliased nodes. Copies of
+    the same cell are shared in the output. *)
+
+val arc : 'a t -> 'a Linear.Arc.t t
+(** "[Arc] can be extended similarly" (§5). Behaves like {!rc} under
+    every strategy; additionally, when the checkpoint runs with a
+    {!shared_memo}, deduplication is coordinated {e across concurrent
+    workers}: the first visitor claims the cell (per-cell CAS on the
+    atomic scratch word as the fast path, a mutex-protected table as
+    the slow path) and late visitors block until its copy is
+    published — the "efficient and thread-safe" claim of §5. *)
+
+val weak : 'a t -> 'a Linear.Rc.weak t
+(** §5's "external pointers": "such pointers, which do not own the data
+    they point to, must be handled in a special way during pointer
+    traversal". The special way: a weak edge never causes a copy. If
+    its target cell was already copied earlier in this traversal, the
+    copy's weak points at the {e copied} cell (topology preserved); if
+    the target is dead, or lies outside the traversed graph, the copy
+    gets a dangling weak — snapshots never resurrect state they do not
+    own. Forward references only: a weak edge reached {e before} its
+    owning [rc] edge also comes out dangling (back-edges into cells
+    still under construction cannot be resolved by a one-pass
+    traversal). *)
+
+val mutex : 'a t -> 'a Linear.Mutex_cell.t t
+(** §2: dynamically-enforced single ownership ([Mutex<T>]) "is explicit
+    in the object's type signature, which enables us to handle such
+    objects in a special way as described in section 5". The special
+    handling: the checkpointer takes the lock, copies the content
+    consistently, and produces a fresh unlocked cell — so a concurrent
+    writer can never tear the snapshot. *)
+
+val delay : (unit -> 'a t) -> 'a t
+(** For recursive types: the thunk is forced on first use. *)
+
+(** {2 Checkpointing} *)
+
+type strategy = Naive | Addr_set | Rc_flag
+
+type stats = {
+  nodes : int;           (** Descriptor nodes visited. *)
+  rc_encounters : int;   (** Times an [rc] edge was traversed. *)
+  rc_copies : int;       (** Distinct cell copies made. *)
+  rc_dedup_hits : int;   (** Encounters resolved to an existing copy. *)
+  hash_lookups : int;    (** Visited-set probes ([Addr_set] only). *)
+}
+
+type shared_memo
+(** A cross-worker deduplication table for parallel checkpoints of
+    [Arc]-shared structures (see {!Parallel}). *)
+
+val shared_memo : unit -> shared_memo
+
+val checkpoint : ?strategy:strategy -> ?shared:shared_memo -> 'a t -> 'a -> 'a * stats
+(** [checkpoint desc v] returns an independent deep copy and the
+    traversal statistics. Default strategy: [Rc_flag].
+
+    Under [Naive], a cell reachable [k] times yields [k] copies
+    ([rc_copies] counts them all, [rc_dedup_hits] stays 0).
+
+    [shared] makes {!arc} edges deduplicate against the given
+    cross-worker table instead of the per-call state; pass the same
+    memo to every concurrent worker of one logical checkpoint. *)
+
+val copies_expected : stats -> aliases:int -> distinct:int -> bool
+(** [true] iff the traversal met [aliases] rc edges and made exactly
+    [distinct] copies, resolving the rest by deduplication (test
+    helper for the Figure-3 scenario). *)

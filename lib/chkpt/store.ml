@@ -1,0 +1,38 @@
+type 'a t = {
+  desc : 'a Checkpointable.t;
+  strategy : Checkpointable.strategy;
+  mutable live : 'a;
+  mutable stack : 'a list;
+  mutable snapshots_taken : int;
+  mutable rollbacks : int;
+}
+
+let create ?(strategy = Checkpointable.Rc_flag) desc live =
+  { desc; strategy; live; stack = []; snapshots_taken = 0; rollbacks = 0 }
+
+let get t = t.live
+let set t v = t.live <- v
+
+let snapshot t =
+  let copy, stats = Checkpointable.checkpoint ~strategy:t.strategy t.desc t.live in
+  t.stack <- copy :: t.stack;
+  t.snapshots_taken <- t.snapshots_taken + 1;
+  stats
+
+let rollback t =
+  match t.stack with
+  | [] -> invalid_arg "Store.rollback: no snapshot"
+  | snap :: _ ->
+    let copy, stats = Checkpointable.checkpoint ~strategy:t.strategy t.desc snap in
+    t.live <- copy;
+    t.rollbacks <- t.rollbacks + 1;
+    stats
+
+let commit t =
+  match t.stack with
+  | [] -> invalid_arg "Store.commit: no snapshot"
+  | _ :: rest -> t.stack <- rest
+
+let depth t = List.length t.stack
+let snapshots_taken t = t.snapshots_taken
+let rollbacks t = t.rollbacks

@@ -1,0 +1,174 @@
+type action = Allow | Deny
+
+type rule = {
+  rule_id : int;
+  action : action;
+  description : string;
+  mutable hits : int;
+}
+
+type shared_rule = rule Linear.Rc.t
+
+let make_rule ~id ?(description = "") action =
+  Linear.Rc.create ~label:(Printf.sprintf "rule-%d" id) { rule_id = id; action; description; hits = 0 }
+
+type node = {
+  mutable zero : node option;
+  mutable one : node option;
+  mutable rule : shared_rule option;
+}
+
+type t = { root : node }
+
+let fresh_node () = { zero = None; one = None; rule = None }
+let create () = { root = fresh_node () }
+
+let bit ip i = Int32.to_int (Int32.shift_right_logical ip (31 - i)) land 1
+
+let insert t ~prefix ~len ~rule =
+  if len < 0 || len > 32 then invalid_arg "Trie.insert: prefix length out of range";
+  let rec go node i =
+    if i = len then begin
+      (match node.rule with Some old -> Linear.Rc.drop old | None -> ());
+      node.rule <- Some (Linear.Rc.clone rule)
+    end
+    else
+      let next =
+        if bit prefix i = 0 then begin
+          (match node.zero with
+          | Some n -> n
+          | None ->
+            let n = fresh_node () in
+            node.zero <- Some n;
+            n)
+        end
+        else
+          match node.one with
+          | Some n -> n
+          | None ->
+            let n = fresh_node () in
+            node.one <- Some n;
+            n
+      in
+      go next (i + 1)
+  in
+  go t.root 0
+
+let remove t ~prefix ~len =
+  if len < 0 || len > 32 then invalid_arg "Trie.remove: prefix length out of range";
+  (* Returns (removed, keep_node): prune branches left empty. *)
+  let rec go node i =
+    if i = len then begin
+      match node.rule with
+      | None -> (false, node.zero <> None || node.one <> None)
+      | Some h ->
+        Linear.Rc.drop h;
+        node.rule <- None;
+        (true, node.zero <> None || node.one <> None)
+    end
+    else begin
+      let next = if bit prefix i = 0 then node.zero else node.one in
+      match next with
+      | None -> (false, true)
+      | Some n ->
+        let removed, keep = go n (i + 1) in
+        if not keep then
+          if bit prefix i = 0 then node.zero <- None else node.one <- None;
+        (removed, node.rule <> None || node.zero <> None || node.one <> None)
+    end
+  in
+  fst (go t.root 0)
+
+let lookup_gen ~bump t ip =
+  let rec go node i best =
+    let best = match node.rule with Some r -> Some r | None -> best in
+    let next = if i < 32 then (if bit ip i = 0 then node.zero else node.one) else None in
+    match next with
+    | Some n -> go n (i + 1) best
+    | None -> best
+  in
+  match go t.root 0 None with
+  | None -> None
+  | Some handle ->
+    let r = Linear.Rc.get handle in
+    if bump then r.hits <- r.hits + 1;
+    Some r
+
+let lookup t ip = lookup_gen ~bump:true t ip
+let lookup_quiet t ip = lookup_gen ~bump:false t ip
+
+let fold_nodes f init t =
+  let rec go acc node =
+    let acc = f acc node in
+    let acc = match node.zero with Some n -> go acc n | None -> acc in
+    match node.one with Some n -> go acc n | None -> acc
+  in
+  go init t.root
+
+let node_count t = fold_nodes (fun acc _ -> acc + 1) 0 t
+
+let leaf_count t =
+  fold_nodes (fun acc n -> match n.rule with Some _ -> acc + 1 | None -> acc) 0 t
+
+let distinct_cells t =
+  fold_nodes
+    (fun acc n ->
+      match n.rule with Some h -> Linear.Rc.id h :: acc | None -> acc)
+    [] t
+  |> List.sort_uniq compare
+
+let distinct_rules t = List.length (distinct_cells t)
+
+let total_hits t =
+  let seen = Hashtbl.create 16 in
+  fold_nodes
+    (fun acc n ->
+      match n.rule with
+      | None -> acc
+      | Some h ->
+        let id = Linear.Rc.id h in
+        if Hashtbl.mem seen id then acc
+        else begin
+          Hashtbl.add seen id ();
+          acc + (Linear.Rc.get h).hits
+        end)
+    0 t
+
+let sharing_preserved t =
+  (* Group leaf handles by rule_id; within each group all handles must
+     alias one cell. *)
+  let groups = Hashtbl.create 16 in
+  fold_nodes
+    (fun () n ->
+      match n.rule with
+      | None -> ()
+      | Some h ->
+        let rid = (Linear.Rc.get h).rule_id in
+        let cells = Option.value ~default:[] (Hashtbl.find_opt groups rid) in
+        Hashtbl.replace groups rid (Linear.Rc.id h :: cells))
+    () t;
+  Hashtbl.fold
+    (fun _rid cells acc -> acc && List.length (List.sort_uniq compare cells) = 1)
+    groups true
+
+(* --- Descriptor ----------------------------------------------------- *)
+
+let rule_desc : rule Checkpointable.t =
+  Checkpointable.iso
+    ~inject:(fun r -> ((r.rule_id, (match r.action with Allow -> true | Deny -> false)), (r.description, r.hits)))
+    ~project:(fun ((rule_id, allow), (description, hits)) ->
+      { rule_id; action = (if allow then Allow else Deny); description; hits })
+    Checkpointable.(pair (pair int bool) (pair string int))
+
+let rec node_desc_thunk () : node Checkpointable.t =
+  Checkpointable.iso
+    ~inject:(fun n -> (n.zero, (n.one, n.rule)))
+    ~project:(fun (zero, (one, rule)) -> { zero; one; rule })
+    Checkpointable.(
+      pair
+        (option (delay node_desc_thunk))
+        (pair (option (delay node_desc_thunk)) (option (rc rule_desc))))
+
+let desc : t Checkpointable.t =
+  Checkpointable.iso ~inject:(fun t -> t.root) ~project:(fun root -> { root })
+    (Checkpointable.delay node_desc_thunk)

@@ -1,0 +1,63 @@
+(** The firewall rule database of Figure 3: a binary trie over IPv4
+    destination prefixes whose leaves point to {e shared} rule objects
+    through [Rc].
+
+    "Multiple leaves of the trie can point to the same rule, causing
+    this rule to be encountered multiple times during pointer
+    traversal, potentially leading to redundant copies of the rule" —
+    this structure is the checkpointing experiments' subject. Rules
+    carry a mutable hit counter so snapshots/rollbacks have observable
+    state to preserve. *)
+
+type action = Allow | Deny
+
+type rule = {
+  rule_id : int;
+  action : action;
+  description : string;
+  mutable hits : int;
+}
+
+type shared_rule = rule Linear.Rc.t
+
+val make_rule : id:int -> ?description:string -> action -> shared_rule
+
+type t
+
+val create : unit -> t
+
+val insert : t -> prefix:int32 -> len:int -> rule:shared_rule -> unit
+(** Map the [len]-bit prefix of [prefix] to [rule] (the leaf takes its
+    own strong handle — this is where aliasing enters the structure).
+    [len] must be in [\[0, 32\]]; a later insert on the same prefix
+    replaces the rule. *)
+
+val remove : t -> prefix:int32 -> len:int -> bool
+(** Unmap the prefix (dropping the leaf's rule handle and pruning
+    now-empty branches); [false] if no rule was mapped there. *)
+
+val lookup : t -> int32 -> rule option
+(** Longest-prefix match; bumps the matched rule's [hits]. *)
+
+val lookup_quiet : t -> int32 -> rule option
+(** Same, without mutating [hits]. *)
+
+val node_count : t -> int
+val leaf_count : t -> int
+(** Leaves = nodes holding a rule handle. *)
+
+val distinct_rules : t -> int
+(** Number of distinct rule cells reachable (< [leaf_count] when rules
+    are shared). *)
+
+val total_hits : t -> int
+(** Sum of [hits] over {e distinct} rules. *)
+
+val sharing_preserved : t -> bool
+(** [true] iff any two leaves with the same [rule_id] alias the same
+    cell — holds for the original and for [Addr_set]/[Rc_flag] copies,
+    fails for [Naive] copies of shared databases. *)
+
+val desc : t Checkpointable.t
+(** The derived descriptor (what the paper's compiler plugin would
+    emit for this type). *)

@@ -1,0 +1,32 @@
+(** Beyond Safety — an OCaml reproduction of
+    {e System Programming in Rust: Beyond Safety} (HotOS '17).
+
+    This umbrella module re-exports the whole system. The three
+    contributions of the paper and their substrates:
+
+    - {!Sfi} (§3) — zero-copy software fault isolation: protection
+      domains over a shared heap, remote references mediated by
+      reference tables, revocation and transparent fault recovery.
+    - {!Ifc} (§4) — static information flow control by abstract
+      interpretation over a security lattice, made precise and cheap
+      by the absence of aliasing; plus the conventional-language
+      baselines (Andersen points-to, security type systems).
+    - {!Chkpt} (§5) — automatic checkpointing of arbitrary data
+      structures, with alias deduplication localised in the [Rc]
+      wrapper.
+
+    Substrates: {!Linear} (the dynamic linear-ownership runtime that
+    stands in for Rust's type system — see DESIGN.md §2), {!Cycles}
+    (deterministic cycle-cost model and cache simulator standing in
+    for the paper's Xeon testbed), and {!Netstack} (the NetBricks/DPDK
+    -style packet framework and Maglev load balancer used by the §3
+    evaluation). *)
+
+let version = "1.0.0"
+
+module Cycles = Cycles
+module Linear = Linear
+module Sfi = Sfi
+module Netstack = Netstack
+module Ifc = Ifc
+module Chkpt = Chkpt

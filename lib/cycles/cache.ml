@@ -1,0 +1,149 @@
+type level = L1 | L2 | L3 | Dram
+
+let level_to_string = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | Dram -> "DRAM"
+
+let pp_level ppf l = Format.pp_print_string ppf (level_to_string l)
+
+type config = {
+  line_bytes : int;
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  l3_sets : int;
+  l3_ways : int;
+}
+
+let default_config =
+  (* 64 B lines; 32 KiB / 64 / 8 = 64 sets; 256 KiB / 64 / 8 = 512 sets;
+     8 MiB / 64 / 16 = 8192 sets. *)
+  { line_bytes = 64; l1_sets = 64; l1_ways = 8; l2_sets = 512; l2_ways = 8;
+    l3_sets = 8192; l3_ways = 16 }
+
+(* One level: [tags.(set * ways + way)] holds the line tag or [-1L];
+   [stamps] holds the LRU timestamp of the corresponding way. *)
+type level_state = {
+  sets : int;
+  ways : int;
+  tags : int64 array;
+  stamps : int array;
+}
+
+type counters = { l1_hits : int; l2_hits : int; l3_hits : int; dram_accesses : int }
+
+type t = {
+  config : config;
+  l1 : level_state;
+  l2 : level_state;
+  l3 : level_state;
+  mutable tick : int;
+  mutable c_l1 : int;
+  mutable c_l2 : int;
+  mutable c_l3 : int;
+  mutable c_dram : int;
+}
+
+let make_level sets ways =
+  { sets; ways; tags = Array.make (sets * ways) (-1L); stamps = Array.make (sets * ways) 0 }
+
+let create ?(config = default_config) () =
+  {
+    config;
+    l1 = make_level config.l1_sets config.l1_ways;
+    l2 = make_level config.l2_sets config.l2_ways;
+    l3 = make_level config.l3_sets config.l3_ways;
+    tick = 0;
+    c_l1 = 0;
+    c_l2 = 0;
+    c_l3 = 0;
+    c_dram = 0;
+  }
+
+let set_of st line = Int64.to_int (Int64.rem line (Int64.of_int st.sets))
+
+(* Returns [true] on hit; on hit refreshes the LRU stamp. *)
+let probe t st line =
+  let s = set_of st line in
+  let base = s * st.ways in
+  let rec scan w =
+    if w = st.ways then false
+    else if st.tags.(base + w) = line then begin
+      st.stamps.(base + w) <- t.tick;
+      true
+    end
+    else scan (w + 1)
+  in
+  scan 0
+
+(* Install [line], preferring an invalid way, else evicting the LRU way. *)
+let fill t st line =
+  let s = set_of st line in
+  let base = s * st.ways in
+  let rec find_invalid w = if w = st.ways then None else if st.tags.(base + w) = -1L then Some w else find_invalid (w + 1) in
+  let victim =
+    match find_invalid 0 with
+    | Some w -> w
+    | None ->
+      let best = ref 0 in
+      for w = 1 to st.ways - 1 do
+        if st.stamps.(base + w) < st.stamps.(base + !best) then best := w
+      done;
+      !best
+  in
+  st.tags.(base + victim) <- line;
+  st.stamps.(base + victim) <- t.tick
+
+let access t addr =
+  t.tick <- t.tick + 1;
+  let line = Int64.div addr (Int64.of_int t.config.line_bytes) in
+  if probe t t.l1 line then begin
+    t.c_l1 <- t.c_l1 + 1;
+    L1
+  end
+  else if probe t t.l2 line then begin
+    t.c_l2 <- t.c_l2 + 1;
+    fill t t.l1 line;
+    L2
+  end
+  else if probe t t.l3 line then begin
+    t.c_l3 <- t.c_l3 + 1;
+    fill t t.l1 line;
+    fill t t.l2 line;
+    L3
+  end
+  else begin
+    t.c_dram <- t.c_dram + 1;
+    fill t t.l1 line;
+    fill t t.l2 line;
+    fill t t.l3 line;
+    Dram
+  end
+
+let access_range t addr bytes =
+  if bytes <= 0 then []
+  else begin
+    let lb = Int64.of_int t.config.line_bytes in
+    let first = Int64.div addr lb in
+    let last = Int64.div (Int64.add addr (Int64.of_int (bytes - 1))) lb in
+    let n = Int64.to_int (Int64.sub last first) + 1 in
+    List.init n (fun i ->
+        access t (Int64.mul (Int64.add first (Int64.of_int i)) lb))
+  end
+
+let flush t =
+  Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1L);
+  Array.fill t.l2.tags 0 (Array.length t.l2.tags) (-1L);
+  Array.fill t.l3.tags 0 (Array.length t.l3.tags) (-1L)
+
+let counters t =
+  { l1_hits = t.c_l1; l2_hits = t.c_l2; l3_hits = t.c_l3; dram_accesses = t.c_dram }
+
+let reset_counters t =
+  t.c_l1 <- 0;
+  t.c_l2 <- 0;
+  t.c_l3 <- 0;
+  t.c_dram <- 0

@@ -1,0 +1,52 @@
+(** Set-associative LRU cache simulator.
+
+    A three-level inclusive hierarchy (L1D → L2 → L3) over a synthetic
+    64-bit address space. Components of the simulation (packet buffers,
+    reference-table slots, Maglev lookup tables, ...) carry synthetic
+    addresses; touching them charges the virtual clock with the latency
+    of the level that hits.
+
+    This is what makes Figure 2's batch-size effect emerge from the
+    model: larger batches touch more distinct packet-buffer lines
+    between two visits to the same reference-table slot, so the SFI
+    metadata gets evicted further down the hierarchy and remote calls
+    get slightly more expensive (90 → ~122 cycles in the paper). *)
+
+type level = L1 | L2 | L3 | Dram
+
+val pp_level : Format.formatter -> level -> unit
+val level_to_string : level -> string
+
+type config = {
+  line_bytes : int;        (** Cache-line size, shared by all levels. *)
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  l3_sets : int;
+  l3_ways : int;
+}
+
+val default_config : config
+(** 32 KiB 8-way L1, 256 KiB 8-way L2, 8 MiB 16-way L3, 64-byte lines. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val access : t -> int64 -> level
+(** [access t addr] simulates one load/store of the line containing
+    [addr]: returns the level that hit and installs the line in all
+    levels above (inclusive fill, LRU update). *)
+
+val access_range : t -> int64 -> int -> level list
+(** [access_range t addr bytes] touches every line overlapped by
+    [\[addr, addr+bytes)] and returns the per-line hit levels in order. *)
+
+val flush : t -> unit
+(** Invalidate every line at every level. *)
+
+type counters = { l1_hits : int; l2_hits : int; l3_hits : int; dram_accesses : int }
+
+val counters : t -> counters
+val reset_counters : t -> unit

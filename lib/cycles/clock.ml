@@ -1,0 +1,80 @@
+type op =
+  | Alu of int
+  | Branch_hit
+  | Branch_miss
+  | Call
+  | Indirect_call
+  | Atomic_rmw
+  | Tls_lookup
+  | Alloc
+  | Unwind
+  | Copy of int
+  | Fixed of int
+
+type t = {
+  model : Cost_model.t;
+  cache : Cache.t;
+  mutable cycles : int64;
+  mutable brk : int64;  (* bump pointer of the synthetic address space *)
+}
+
+let create ?(model = Cost_model.default) ?cache_config () =
+  let cache =
+    match cache_config with
+    | None -> Cache.create ()
+    | Some config -> Cache.create ~config ()
+  in
+  (* Start the heap away from address 0 so that "null-ish" addresses in
+     tests stand out. *)
+  { model; cache; cycles = 0L; brk = 0x1000L }
+
+let model t = t.model
+let now t = t.cycles
+let add t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
+
+let charge t op =
+  let m = t.model in
+  match op with
+  | Alu n -> add t (n * m.alu)
+  | Branch_hit -> add t m.branch
+  | Branch_miss -> add t m.branch_miss
+  | Call -> add t m.call
+  | Indirect_call -> add t m.indirect_call
+  | Atomic_rmw -> add t m.atomic_rmw
+  | Tls_lookup -> add t m.tls_lookup
+  | Alloc -> add t m.alloc_fixed
+  | Unwind -> add t m.unwind
+  | Copy n -> add t (int_of_float (ceil (float_of_int n *. m.per_byte_copy)))
+  | Fixed n -> add t n
+
+let latency_of t (level : Cache.level) =
+  let m = t.model in
+  match level with
+  | Cache.L1 -> m.l1_latency
+  | Cache.L2 -> m.l2_latency
+  | Cache.L3 -> m.l3_latency
+  | Cache.Dram -> m.dram_latency
+
+let touch t addr ~bytes =
+  let levels = Cache.access_range t.cache addr bytes in
+  List.iter (fun level -> add t (latency_of t level)) levels
+
+let touch_level t addr =
+  let level = Cache.access t.cache addr in
+  add t (latency_of t level);
+  level
+
+let alloc_addr t ~bytes =
+  let base = t.brk in
+  let aligned = (bytes + 63) / 64 * 64 in
+  t.brk <- Int64.add t.brk (Int64.of_int (max 64 aligned));
+  base
+
+let cache_counters t = Cache.counters t.cache
+let reset_cache_counters t = Cache.reset_counters t.cache
+let flush_cache t = Cache.flush t.cache
+
+let measure t f =
+  let start = t.cycles in
+  let result = f () in
+  (result, Int64.sub t.cycles start)

@@ -1,0 +1,62 @@
+(** The virtual cycle clock.
+
+    A clock combines a {!Cost_model.t} with a {!Cache.t} hierarchy and a
+    monotone cycle counter. Simulated components charge it for the
+    operations they perform; experiments read back elapsed cycles
+    exactly like the paper reads the TSC.
+
+    A clock also owns a synthetic 64-bit address space: simulated
+    objects (packet buffers, reference-table slots, lookup tables, ...)
+    obtain stable addresses from {!alloc_addr} so that their memory
+    traffic interacts in the shared cache hierarchy. *)
+
+type t
+
+(** Abstract operations a simulated component can perform. [Copy n]
+    models copying [n] bytes (fixed per-byte cost; the cache traffic of
+    the source and destination must be charged separately via
+    {!touch}). [Fixed n] charges exactly [n] cycles and is reserved for
+    calibration tests. *)
+type op =
+  | Alu of int          (** [Alu n]: [n] simple ALU ops. *)
+  | Branch_hit
+  | Branch_miss
+  | Call
+  | Indirect_call
+  | Atomic_rmw
+  | Tls_lookup
+  | Alloc
+  | Unwind
+  | Copy of int
+  | Fixed of int
+
+val create : ?model:Cost_model.t -> ?cache_config:Cache.config -> unit -> t
+
+val model : t -> Cost_model.t
+
+val now : t -> int64
+(** Elapsed virtual cycles since creation. *)
+
+val charge : t -> op -> unit
+
+val touch : t -> int64 -> bytes:int -> unit
+(** [touch t addr ~bytes] simulates a memory access to
+    [\[addr, addr+bytes)]: each overlapped cache line is probed and the
+    latency of the level that hits is charged. *)
+
+val touch_level : t -> int64 -> Cache.level
+(** Single-line access that also reports where it hit — used by tests
+    and by the Figure-2 harness to substantiate the paper's
+    "2–3 L3 accesses" characterisation. *)
+
+val alloc_addr : t -> bytes:int -> int64
+(** Reserve [bytes] of synthetic address space (64-byte aligned) and
+    return its base address. Never recycles addresses. *)
+
+val cache_counters : t -> Cache.counters
+val reset_cache_counters : t -> unit
+val flush_cache : t -> unit
+
+val measure : t -> (unit -> 'a) -> 'a * int64
+(** [measure t f] runs [f] and returns its result with the cycles it
+    charged. *)

@@ -1,0 +1,42 @@
+type t = {
+  l1_latency : int;
+  l2_latency : int;
+  l3_latency : int;
+  dram_latency : int;
+  alu : int;
+  branch : int;
+  branch_miss : int;
+  call : int;
+  indirect_call : int;
+  atomic_rmw : int;
+  tls_lookup : int;
+  alloc_fixed : int;
+  unwind : int;
+  per_byte_copy : float;
+}
+
+let default =
+  {
+    l1_latency = 4;
+    l2_latency = 12;
+    l3_latency = 38;
+    dram_latency = 230;
+    alu = 1;
+    branch = 1;
+    branch_miss = 15;
+    call = 2;
+    indirect_call = 18;
+    atomic_rmw = 20;
+    tls_lookup = 4;
+    alloc_fixed = 25;
+    unwind = 3800;
+    per_byte_copy = 0.25;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>L1=%d L2=%d L3=%d DRAM=%d cycles;@ alu=%d branch=%d/%d call=%d/%d \
+     atomic=%d tls=%d alloc=%d unwind=%d copy=%.2f c/B@]"
+    t.l1_latency t.l2_latency t.l3_latency t.dram_latency t.alu t.branch
+    t.branch_miss t.call t.indirect_call t.atomic_rmw t.tls_lookup
+    t.alloc_fixed t.unwind t.per_byte_copy

@@ -1,0 +1,133 @@
+type pin_row = { variant : string; cycles_per_call : float; revocable : bool }
+
+type attribution_row = {
+  zeroed : string;
+  overhead_per_call : float;
+  delta_vs_full : float;
+}
+
+type unwind_row = { unwind_cost : int; recovery_total : float }
+
+type result = {
+  pin : pin_row list;
+  attribution : attribution_row list;
+  unwind : unwind_row list;
+}
+
+(* A1: full invoke vs pinned invoke on a hot counter service. *)
+let pin_ablation ~trials =
+  let mgr = Sfi.Manager.create () in
+  let clock = Sfi.Manager.clock mgr in
+  let d = Sfi.Manager.create_domain mgr ~name:"svc" () in
+  let rref = Sfi.Rref.create d ~label:"counter" (ref 0) in
+  let mean_of f =
+    (* Warm up, then average. *)
+    for _ = 1 to 50 do
+      ignore (f ())
+    done;
+    let stats = Cycles.Stats.create () in
+    for _ = 1 to trials do
+      let _, c = Cycles.Clock.measure clock f in
+      Cycles.Stats.add stats (Int64.to_float c)
+    done;
+    Cycles.Stats.mean stats
+  in
+  let full = mean_of (fun () -> Sfi.Rref.invoke rref (fun c -> incr c)) in
+  let pinned =
+    match Sfi.Rref.pin rref with
+    | Error e -> failwith (Sfi.Sfi_error.to_string e)
+    | Ok p ->
+      let m = mean_of (fun () -> Sfi.Rref.invoke_pinned p (fun c -> incr c)) in
+      Sfi.Rref.unpin p;
+      m
+  in
+  [
+    { variant = "weak upgrade per call (ours)"; cycles_per_call = full; revocable = true };
+    { variant = "pinned strong reference"; cycles_per_call = pinned; revocable = false };
+  ]
+
+(* A2: re-run the Figure-2 batch-1 measurement with one micro-cost
+   zeroed at a time. *)
+let overhead_with model =
+  let env = Env.make ~model () in
+  let stages = List.init 5 (fun _ -> Netstack.Filters.null) in
+  let direct =
+    let pipe = Netstack.Pipeline.create ~engine:env.Env.engine ~mode:Netstack.Pipeline.Direct stages in
+    Cycles.Stats.mean (Env.measure_pipeline env pipe ~batch:1 ~warmup:20 ~trials:100)
+  in
+  let env2 = Env.make ~model () in
+  let isolated =
+    let pipe =
+      Netstack.Pipeline.create ~engine:env2.Env.engine
+        ~mode:(Netstack.Pipeline.Isolated env2.Env.manager)
+        stages
+    in
+    Cycles.Stats.mean (Env.measure_pipeline env2 pipe ~batch:1 ~warmup:20 ~trials:100)
+  in
+  (isolated -. direct) /. 5.
+
+let attribution_ablation () =
+  let base = Cycles.Cost_model.default in
+  let variants =
+    [
+      ("(none: full model)", base);
+      ("tls_lookup", { base with tls_lookup = 0 });
+      ("atomic_rmw", { base with atomic_rmw = 0 });
+      ("indirect_call", { base with indirect_call = 0 });
+    ]
+  in
+  let full = overhead_with base in
+  List.map
+    (fun (zeroed, model) ->
+      let overhead_per_call = overhead_with model in
+      { zeroed; overhead_per_call; delta_vs_full = full -. overhead_per_call })
+    variants
+
+(* A3: recovery total vs modelled unwind cost. *)
+let unwind_ablation () =
+  List.map
+    (fun unwind ->
+      let model = { Cycles.Cost_model.default with unwind } in
+      let env = Env.make ~model () in
+      let pipe =
+        Netstack.Pipeline.create ~engine:env.Env.engine
+          ~mode:(Netstack.Pipeline.Isolated env.Env.manager)
+          [ Netstack.Filters.fault_injector ~panic_after:1 ]
+      in
+      let stats = Cycles.Stats.create () in
+      for _ = 1 to 200 do
+        let b = Netstack.Nic.rx_batch env.Env.nic 32 in
+        let _, c1 = Cycles.Clock.measure env.Env.clock (fun () -> Netstack.Pipeline.process pipe b) in
+        let _, c2 =
+          Cycles.Clock.measure env.Env.clock (fun () ->
+              match Netstack.Pipeline.recover_stage pipe 0 with
+              | Ok () -> ()
+              | Error msg -> failwith msg)
+        in
+        Cycles.Stats.add stats (Int64.to_float (Int64.add c1 c2))
+      done;
+      { unwind_cost = unwind; recovery_total = Cycles.Stats.mean stats })
+    [ 0; 1400; 2800; 5600 ]
+
+let run ?(trials = 1000) () =
+  { pin = pin_ablation ~trials; attribution = attribution_ablation (); unwind = unwind_ablation () }
+
+let print r =
+  print_endline "A1: full remote invocation vs pinned strong reference";
+  Table.print
+    ~header:[ "variant"; "cycles/call"; "revocable" ]
+    (List.map
+       (fun p -> [ p.variant; Table.ff p.cycles_per_call; Table.fb p.revocable ])
+       r.pin);
+  print_endline "";
+  print_endline "A2: where the per-call overhead lives (micro-cost zeroed at a time)";
+  Table.print
+    ~header:[ "zeroed cost"; "overhead/call"; "share of full" ]
+    (List.map
+       (fun a -> [ a.zeroed; Table.ff a.overhead_per_call; Table.ff a.delta_vs_full ])
+       r.attribution);
+  print_endline "";
+  print_endline "A3: recovery cost vs modelled stack-unwind cost";
+  Table.print
+    ~header:[ "unwind cycles"; "recovery total" ]
+    (List.map (fun u -> [ Table.fi u.unwind_cost; Table.ff u.recovery_total ]) r.unwind)

@@ -1,0 +1,52 @@
+type t = {
+  clock : Cycles.Clock.t;
+  pool : Netstack.Mempool.t;
+  engine : Netstack.Engine.t;
+  nic : Netstack.Nic.t;
+  manager : Sfi.Manager.t;
+}
+
+let make ?(seed = 2017L) ?(pool_capacity = 4096) ?(flows = 1024) ?(payload_bytes = 18)
+    ?model () =
+  let clock =
+    match model with None -> Cycles.Clock.create () | Some m -> Cycles.Clock.create ~model:m ()
+  in
+  let pool = Netstack.Mempool.create ~clock ~capacity:pool_capacity () in
+  let engine = Netstack.Engine.create ~clock ~pool () in
+  let rng = Cycles.Rng.create seed in
+  let traffic = Netstack.Traffic.create ~rng ~payload_bytes (Netstack.Traffic.Uniform { flows }) in
+  let nic = Netstack.Nic.create ~engine ~traffic () in
+  let manager = Sfi.Manager.create ~clock () in
+  { clock; pool; engine; nic; manager }
+
+let run_batch t pipe batch =
+  let b = Netstack.Nic.rx_batch t.nic batch in
+  let result, cycles = Cycles.Clock.measure t.clock (fun () -> Netstack.Pipeline.process pipe b) in
+  match result with
+  | Ok out ->
+    ignore (Netstack.Nic.tx_batch t.nic out);
+    cycles
+  | Error e -> failwith ("Env.measure_pipeline: " ^ Sfi.Sfi_error.to_string e)
+
+let measure_pipeline t pipe ~batch ~warmup ~trials =
+  for _ = 1 to warmup do
+    ignore (run_batch t pipe batch)
+  done;
+  let stats = Cycles.Stats.create () in
+  for _ = 1 to trials do
+    Cycles.Stats.add stats (Int64.to_float (run_batch t pipe batch))
+  done;
+  stats
+
+let maglev_backends = Array.init 8 (fun i -> Printf.sprintf "backend-%d" i)
+
+let vip = 0xC0A80001l
+
+let maglev_nf t =
+  let mg = Netstack.Maglev.create ~clock:t.clock ~backends:maglev_backends () in
+  ( mg,
+    [
+      Netstack.Filters.checksum_verify;
+      Netstack.Filters.ttl_decrement;
+      Netstack.Filters.maglev_gre mg ~vip;
+    ] )

@@ -1,0 +1,43 @@
+(** Shared experiment environment construction and measurement loops.
+
+    Every environment owns {e one} virtual clock shared by the packet
+    engine, the NIC, the SFI manager and any Maglev instance, so all
+    costs land in the same simulated cache hierarchy — the property
+    Figure 2 depends on. Environments are deterministic: same seed,
+    same numbers. *)
+
+type t = {
+  clock : Cycles.Clock.t;
+  pool : Netstack.Mempool.t;
+  engine : Netstack.Engine.t;
+  nic : Netstack.Nic.t;
+  manager : Sfi.Manager.t;
+}
+
+val make :
+  ?seed:int64 ->
+  ?pool_capacity:int ->
+  ?flows:int ->
+  ?payload_bytes:int ->
+  ?model:Cycles.Cost_model.t ->
+  unit ->
+  t
+(** Defaults: seed 2017, 4096-buffer pool, 1024 uniform flows,
+    18-byte payloads (64-byte frames — the Figure-2 workload). *)
+
+val measure_pipeline :
+  t -> Netstack.Pipeline.t -> batch:int -> warmup:int -> trials:int -> Cycles.Stats.t
+(** Mean cycles per [Pipeline.process] call (rx/tx excluded from the
+    measurement but executed, so their cache side effects are felt —
+    as on real hardware). Raises [Failure] if any batch errors. *)
+
+val maglev_backends : string array
+(** The 8 synthetic backends every Maglev experiment uses. *)
+
+val vip : int32
+(** The load balancer's virtual IP. *)
+
+val maglev_nf : t -> Netstack.Maglev.t * Netstack.Stage.t list
+(** "The NetBricks implementation of the Maglev load balancer": header
+    checksum verification, TTL decrement, then Maglev steering with
+    GRE encapsulation to the chosen backend (the NSDI'16 data path). *)

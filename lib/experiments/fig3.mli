@@ -1,0 +1,21 @@
+(** E8 / Figure 3 — checkpointing the firewall rule database.
+
+    The exact scenario of the figure: a trie in which two leaves share
+    rule 1 and a third holds rule 2. Naive traversal produces the
+    broken snapshot of Figure 3b (rule 1 duplicated, sharing lost);
+    the conventional address-set fix and our Rc-flag approach both
+    copy once — but only the Rc-flag does so with zero visited-set
+    lookups. *)
+
+type row = {
+  strategy : string;
+  rc_encounters : int;
+  copies : int;
+  dedup_hits : int;
+  hash_lookups : int;
+  rules_in_copy : int;         (** Distinct rule objects in the snapshot. *)
+  sharing_preserved : bool;
+}
+
+val run : unit -> row list
+val print : row list -> unit

@@ -1,0 +1,63 @@
+type row = {
+  program : string;
+  dialect : string;
+  strategy : string;
+  verdict : string;
+  flow_findings : int list;
+  ownership_errors : int list;
+  dynamic : string;
+  sound : bool;
+}
+
+let dynamic_of program =
+  match Ifc.Interp.run program with
+  | outcome -> if outcome.Ifc.Interp.leaks = [] then "clean" else "leaks"
+  | exception Ifc.Interp.Runtime_error _ -> "traps"
+
+let one ~program ~name strategy =
+  match Ifc.Verifier.verify ~strategy program with
+  | Error e -> failwith ("Ifc_matrix: " ^ e)
+  | Ok r ->
+    let dynamic = dynamic_of program in
+    let rejected = r.Ifc.Verifier.verdict = Ifc.Verifier.Rejected in
+    {
+      program = name;
+      dialect = (match program.Ifc.Ast.dialect with Safe -> "safe" | Aliased -> "aliased");
+      strategy = Ifc.Verifier.strategy_name strategy;
+      verdict = (if rejected then "REJECTED" else "VERIFIED");
+      flow_findings = List.map (fun f -> f.Ifc.Abstract.line) r.Ifc.Verifier.findings;
+      ownership_errors = List.map (fun v -> v.Ifc.Ownership.line) r.Ifc.Verifier.ownership_errors;
+      dynamic;
+      sound = rejected || String.equal dynamic "clean";
+    }
+
+let run () =
+  [
+    one ~program:Ifc.Examples.buffer_leak_safe ~name:"buffer, direct leak" Ifc.Verifier.Exact;
+    one ~program:Ifc.Examples.buffer_exploit_safe ~name:"buffer, alias exploit" Ifc.Verifier.Exact;
+    one ~program:Ifc.Examples.buffer_benign_safe ~name:"buffer, benign" Ifc.Verifier.Exact;
+    one ~program:Ifc.Examples.buffer_benign_safe ~name:"buffer, benign" Ifc.Verifier.Compositional;
+    one ~program:Ifc.Examples.buffer_exploit_aliased ~name:"buffer, alias exploit"
+      Ifc.Verifier.Naive_no_alias;
+    one ~program:Ifc.Examples.buffer_exploit_aliased ~name:"buffer, alias exploit"
+      Ifc.Verifier.Andersen;
+  ]
+
+let fmt_lines = function
+  | [] -> "-"
+  | ls -> String.concat "," (List.map string_of_int ls)
+
+let print rows =
+  print_endline "E5: detection matrix for the paper's Buffer listing (lines 9-17)";
+  Table.print
+    ~header:[ "program"; "dialect"; "analysis"; "verdict"; "flow@"; "ownership@"; "dynamic"; "sound" ]
+    (List.map
+       (fun r ->
+         [
+           r.program; r.dialect; r.strategy; r.verdict; fmt_lines r.flow_findings;
+           fmt_lines r.ownership_errors; r.dynamic; Table.fb r.sound;
+         ])
+       rows);
+  print_endline
+    "  paper: line 16 caught statically; line 17 rejected by ownership; the same\n\
+    \         exploit in a conventional language needs alias analysis to be caught"

@@ -1,0 +1,28 @@
+(** E5 — the §4 detection matrix over the paper's Buffer listing.
+
+    Each row runs one (program, analysis) pair and records the static
+    verdict alongside the {e dynamic ground truth} (does executing the
+    program actually disclose secret data?). The paper's claims, as
+    rows:
+
+    - Safe dialect, exact analysis: the direct leak (line 16) is
+      caught; the aliasing exploit (line 17) cannot even be written —
+      the ownership check rejects it.
+    - Conventional dialect, no alias analysis: the exploit {e runs and
+      leaks} but the analysis misses it (unsound).
+    - Conventional dialect, Andersen points-to: caught, at the price of
+      the alias machinery. *)
+
+type row = {
+  program : string;
+  dialect : string;
+  strategy : string;
+  verdict : string;               (** "VERIFIED" / "REJECTED". *)
+  flow_findings : int list;       (** Lines of IFC findings. *)
+  ownership_errors : int list;    (** Lines of linearity errors. *)
+  dynamic : string;               (** "leaks" / "clean" / "traps". *)
+  sound : bool;                   (** Rejected, or truly clean. *)
+}
+
+val run : unit -> row list
+val print : row list -> unit

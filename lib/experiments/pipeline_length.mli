@@ -1,0 +1,22 @@
+(** E2 — §3 text: "We found this overhead to be independent of the
+    pipeline length, and hence Figure 2 shows the results for the
+    length of 5."
+
+    Repeats the Figure-2 measurement at a fixed batch size for pipeline
+    lengths 1..16 and reports the per-invocation overhead of each. *)
+
+type row = {
+  length : int;
+  direct_cycles : float;
+  isolated_cycles : float;
+  overhead_per_call : float;
+}
+
+val run : ?lengths:int list -> ?batch:int -> ?warmup:int -> ?trials:int -> unit -> row list
+(** Defaults: lengths 1,2,4,8,16; batch 32. *)
+
+val max_deviation : row list -> float
+(** Largest relative deviation of any row's overhead from the mean —
+    the "independence" claim quantified. *)
+
+val print : row list -> unit

@@ -1,0 +1,108 @@
+type entry = {
+  id : string;
+  description : string;
+  run : quick:bool -> unit;
+}
+
+let all =
+  [
+    {
+      id = "fig2";
+      description = "E1/E10: Figure 2 - isolation overhead vs Maglev, by batch size";
+      run =
+        (fun ~quick ->
+          let trials = if quick then 30 else 100 in
+          let batches = if quick then [ 1; 16; 256 ] else Fig2.default_batches in
+          Fig2.print (Fig2.run ~batches ~trials ()));
+    };
+    {
+      id = "pipeline-length";
+      description = "E2: overhead independence of pipeline length";
+      run =
+        (fun ~quick ->
+          let trials = if quick then 30 else 100 in
+          Pipeline_length.print (Pipeline_length.run ~trials ()));
+    };
+    {
+      id = "recovery";
+      description = "E3: fault-recovery cost (paper: 4389 cycles)";
+      run =
+        (fun ~quick ->
+          let trials = if quick then 100 else 1000 in
+          Recovery.print (Recovery.run ~trials ()));
+    };
+    {
+      id = "sfi-baselines";
+      description = "E4: copying / tagged-heap / linear SFI comparison";
+      run =
+        (fun ~quick ->
+          let trials = if quick then 30 else 100 in
+          Sfi_baselines.print (Sfi_baselines.run ~trials ()));
+    };
+    {
+      id = "ifc-matrix";
+      description = "E5: Buffer-listing detection matrix (lines 16/17)";
+      run = (fun ~quick:_ -> Ifc_matrix.print (Ifc_matrix.run ()));
+    };
+    {
+      id = "ifc-store";
+      description = "E6: secure-store verification + sectype copy cost";
+      run = (fun ~quick:_ -> Ifc_store.print (Ifc_store.run ()));
+    };
+    {
+      id = "ifc-scaling";
+      description = "E7: verification cost scaling / compositional summaries";
+      run =
+        (fun ~quick ->
+          let client_counts = if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32 ] in
+          Ifc_scaling.print (Ifc_scaling.run ~client_counts ()));
+    };
+    {
+      id = "fig3";
+      description = "E8: Figure 3 - checkpointing the firewall rule DB";
+      run = (fun ~quick:_ -> Fig3.print (Fig3.run ()));
+    };
+    {
+      id = "ckpt-cost";
+      description = "E9: checkpoint work vs DB size and sharing";
+      run =
+        (fun ~quick ->
+          let sizes = if quick then [ (100, 2); (100, 4) ] else Ckpt_cost.default_sizes in
+          Ckpt_cost.print (Ckpt_cost.run ~sizes ()));
+    };
+    {
+      id = "availability";
+      description = "E11 (extension): availability under fault injection";
+      run =
+        (fun ~quick ->
+          let batches = if quick then 400 else 2000 in
+          Availability.print (Availability.run ~batches ()));
+    };
+    {
+      id = "rollback";
+      description = "E13 (extension): middlebox rollback-recovery (ckpt + replay)";
+      run =
+        (fun ~quick ->
+          let inputs = if quick then 517 else 2021 in
+          Rollback.print (Rollback.run ~inputs ()));
+    };
+    {
+      id = "multicore";
+      description = "E12 (extension): multi-core scaling of isolated pipelines";
+      run =
+        (fun ~quick ->
+          let batches_per_core = if quick then 800 else 3000 in
+          Multicore.print (Multicore.run ~batches_per_core ()));
+    };
+    {
+      id = "ablations";
+      description = "A1-A3: design-choice ablations";
+      run =
+        (fun ~quick ->
+          let trials = if quick then 100 else 1000 in
+          Ablations.print (Ablations.run ~trials ()));
+    };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,14 @@
+(** The experiment registry: one entry per paper artefact (DESIGN.md
+    §4), shared by the benchmark harness and the [repro] CLI. *)
+
+type entry = {
+  id : string;           (** e.g. ["fig2"]. *)
+  description : string;
+  run : quick:bool -> unit;
+      (** Execute and print. [quick:true] trades trial counts /
+          sweep sizes for speed (for CI and interactive use). *)
+}
+
+val all : entry list
+val find : string -> entry option
+val ids : string list

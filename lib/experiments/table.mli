@@ -1,0 +1,11 @@
+(** Minimal aligned-column table printing for experiment reports. *)
+
+val print : ?out:out_channel -> header:string list -> string list list -> unit
+(** Right-aligns numeric-looking cells, left-aligns the rest, pads to
+    the widest cell per column, separates header with a rule. *)
+
+val fi : int -> string
+val ff : ?decimals:int -> float -> string
+val fb : bool -> string
+val fpct : float -> string
+(** [fpct 0.0123] = ["1.23%"]. *)

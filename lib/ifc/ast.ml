@@ -1,0 +1,169 @@
+type arg_mode = By_move | By_borrow
+
+type op =
+  | Alloc of { var : string; label : Label.t }
+  | Const_write of { dst : string; value : int; label : Label.t }
+  | Append of { dst : string; src : string }
+  | Move of { dst : string; src : string }
+  | Alias of { dst : string; src : string }
+  | Copy of { dst : string; src : string }
+  | Declassify of { var : string; label : Label.t }
+  | If of { cond : string; then_ : stmt list; else_ : stmt list }
+  | While of { cond : string; body : stmt list }
+  | Output of { channel : string; src : string }
+  | Call of { func : string; args : (string * arg_mode) list }
+  | Assert_leq of { var : string; label : Label.t }
+
+and stmt = { line : int; op : op }
+
+type func = { fname : string; params : string list; body : stmt list }
+type channel = { cname : string; bound : Label.t }
+type dialect = Safe | Aliased
+
+type program = {
+  dialect : dialect;
+  channels : channel list;
+  funcs : func list;
+  main : stmt list;
+}
+
+let stmt line op = { line; op }
+
+let program ?(dialect = Safe) ?(channels = []) ?(funcs = []) main =
+  { dialect; channels; funcs; main }
+
+let find_func p name = List.find_opt (fun f -> String.equal f.fname name) p.funcs
+let find_channel p name = List.find_opt (fun c -> String.equal c.cname name) p.channels
+
+type validation_error = { vline : int; reason : string }
+
+let rec iter_stmts f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s.op with
+      | If { then_; else_; _ } ->
+        iter_stmts f then_;
+        iter_stmts f else_
+      | While { body; _ } -> iter_stmts f body
+      | Alloc _ | Const_write _ | Append _ | Move _ | Alias _ | Copy _ | Declassify _
+      | Output _ | Call _ | Assert_leq _ ->
+        ())
+    stmts
+
+let duplicates names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else begin
+        Hashtbl.add seen n ();
+        false
+      end)
+    names
+
+(* Detect recursion: DFS over the static call graph. *)
+let check_recursion p errs =
+  let rec visit stack fname =
+    if List.mem fname stack then
+      errs := { vline = 0; reason = Printf.sprintf "recursive call cycle through `%s'" fname } :: !errs
+    else
+      match find_func p fname with
+      | None -> ()
+      | Some f ->
+        iter_stmts
+          (fun s ->
+            match s.op with
+            | Call { func; _ } -> visit (fname :: stack) func
+            | _ -> ())
+          f.body
+  in
+  List.iter (fun f -> visit [] f.fname) p.funcs
+
+let validate p =
+  let errs = ref [] in
+  let err line reason = errs := { vline = line; reason } :: !errs in
+  (match duplicates (List.map (fun f -> f.fname) p.funcs) with
+  | [] -> ()
+  | ds -> List.iter (fun d -> err 0 (Printf.sprintf "duplicate function `%s'" d)) ds);
+  (match duplicates (List.map (fun c -> c.cname) p.channels) with
+  | [] -> ()
+  | ds -> List.iter (fun d -> err 0 (Printf.sprintf "duplicate channel `%s'" d)) ds);
+  List.iter
+    (fun f ->
+      match duplicates f.params with
+      | [] -> ()
+      | ds ->
+        List.iter
+          (fun d -> err 0 (Printf.sprintf "duplicate parameter `%s' of `%s'" d f.fname))
+          ds)
+    p.funcs;
+  let check_stmt s =
+    match s.op with
+    | Alias _ when p.dialect = Safe ->
+      err s.line "aliasing (`&') is not part of the safe dialect"
+    | Output { channel; _ } when find_channel p channel = None ->
+      err s.line (Printf.sprintf "output on undeclared channel `%s'" channel)
+    | Call { func; args } -> (
+      match find_func p func with
+      | None -> err s.line (Printf.sprintf "call to unknown function `%s'" func)
+      | Some f ->
+        if List.length args <> List.length f.params then
+          err s.line
+            (Printf.sprintf "`%s' expects %d arguments, got %d" func (List.length f.params)
+               (List.length args)))
+    | Alloc _ | Const_write _ | Append _ | Move _ | Alias _ | Copy _ | Declassify _
+    | If _ | While _ | Output _ | Assert_leq _ ->
+      ()
+  in
+  iter_stmts check_stmt p.main;
+  List.iter (fun f -> iter_stmts check_stmt f.body) p.funcs;
+  check_recursion p errs;
+  match List.rev !errs with [] -> Ok () | es -> Error es
+
+let stmt_count p =
+  let n = ref 0 in
+  iter_stmts (fun _ -> incr n) p.main;
+  List.iter (fun f -> iter_stmts (fun _ -> incr n) f.body) p.funcs;
+  !n
+
+let mode_str = function By_move -> "move " | By_borrow -> "&"
+
+let rec pp_stmt ppf s =
+  let f fmt = Format.fprintf ppf fmt in
+  match s.op with
+  | Alloc { var; label } -> f "@[%3d: let %s = vec![] : %a@]" s.line var Label.pp label
+  | Const_write { dst; value; label } ->
+    f "@[%3d: %s.push(%d : %a)@]" s.line dst value Label.pp label
+  | Append { dst; src } -> f "@[%3d: %s.append(copy %s)@]" s.line dst src
+  | Move { dst; src } -> f "@[%3d: let %s = move %s@]" s.line dst src
+  | Alias { dst; src } -> f "@[%3d: let %s = &%s@]" s.line dst src
+  | Copy { dst; src } -> f "@[%3d: let %s = %s.clone()@]" s.line dst src
+  | Declassify { var; label } -> f "@[%3d: declassify %s to %a@]" s.line var Label.pp label
+  | If { cond; then_; else_ } ->
+    f "@[<v>%3d: if %s {@;<1 2>%a@,} else {@;<1 2>%a@,}@]" s.line cond pp_block then_
+      pp_block else_
+  | While { cond; body } ->
+    f "@[<v>%3d: while %s {@;<1 2>%a@,}@]" s.line cond pp_block body
+  | Output { channel; src } -> f "@[%3d: output %s -> %s@]" s.line src channel
+  | Call { func; args } ->
+    f "@[%3d: %s(%s)@]" s.line func
+      (String.concat ", " (List.map (fun (v, m) -> mode_str m ^ v) args))
+  | Assert_leq { var; label } ->
+    f "@[%3d: assert label(%s) <= %a@]" s.line var Label.pp label
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_program ppf p =
+  let dialect = match p.dialect with Safe -> "safe" | Aliased -> "aliased" in
+  Format.fprintf ppf "@[<v>// dialect: %s@," dialect;
+  List.iter
+    (fun c -> Format.fprintf ppf "// channel %s : bound %a@," c.cname Label.pp c.bound)
+    p.channels;
+  List.iter
+    (fun fn ->
+      Format.fprintf ppf "@[<v>fn %s(%s) {@;<1 2>%a@,}@]@," fn.fname
+        (String.concat ", " fn.params) pp_block fn.body)
+    p.funcs;
+  Format.fprintf ppf "%a@]" pp_block p.main

@@ -1,0 +1,227 @@
+module Int_set = Set.Make (Int)
+module Env = Map.Make (String)
+
+type sym = { const : Label.t; deps : Int_set.t }
+
+type t = {
+  fname : string;
+  param_out : sym array;
+  param_moved : bool array;
+  outputs : (int * string * sym) list;
+  asserts : (int * string * sym * Label.t) list;
+}
+
+let bot = { const = Label.public; deps = Int_set.empty }
+let of_label l = { const = l; deps = Int_set.empty }
+let of_param i = { const = Label.public; deps = Int_set.singleton i }
+
+let sym_join a b = { const = Label.join a.const b.const; deps = Int_set.union a.deps b.deps }
+
+let sym_equal a b = Label.equal a.const b.const && Int_set.equal a.deps b.deps
+
+let eval s args =
+  Int_set.fold
+    (fun i acc -> Label.join acc (if i < Array.length args then args.(i) else Label.public))
+    s.deps s.const
+
+(* Substitute argument symbols into a callee symbol (summary-of-summary
+   composition, used when one function calls another). *)
+let subst s (arg_syms : sym array) =
+  Int_set.fold
+    (fun i acc -> sym_join acc (if i < Array.length arg_syms then arg_syms.(i) else bot))
+    s.deps (of_label s.const)
+
+type ctx = {
+  program : Ast.program;
+  summaries : (string, t) Hashtbl.t;
+  mutable transfers : int;
+  (* Accumulated while summarising one function: *)
+  mutable outputs : (int * string * sym) list;
+  mutable asserts : (int * string * sym * Label.t) list;
+  mutable moved : (string, unit) Hashtbl.t;
+}
+
+let env_get env v = Option.value ~default:bot (Env.find_opt v env)
+let env_join = Env.union (fun _ a b -> Some (sym_join a b))
+
+let rec step ctx pc env (s : Ast.stmt) =
+  ctx.transfers <- ctx.transfers + 1;
+  match s.op with
+  | Ast.Alloc { var; label } -> Env.add var (sym_join (of_label label) pc) env
+  | Const_write { dst; label; _ } ->
+    Env.add dst (sym_join (env_get env dst) (sym_join (of_label label) pc)) env
+  | Append { dst; src } ->
+    Env.add dst (sym_join (env_get env dst) (sym_join (env_get env src) pc)) env
+  | Move { dst; src } ->
+    Hashtbl.replace ctx.moved src ();
+    Env.add dst (sym_join (env_get env src) pc) (Env.remove src env)
+  | Alias { dst; src } | Copy { dst; src } ->
+    Env.add dst (sym_join (env_get env src) pc) env
+  | Declassify { var; label } -> Env.add var (of_label label) env
+  | If { cond; then_; else_ } ->
+    let pc' = sym_join pc (env_get env cond) in
+    env_join (block ctx pc' env then_) (block ctx pc' env else_)
+  | While { cond; body } ->
+    let rec fix env =
+      let pc' = sym_join pc (env_get env cond) in
+      let joined = env_join env (block ctx pc' env body) in
+      if Env.equal sym_equal joined env then env else fix joined
+    in
+    fix env
+  | Output { channel; src } ->
+    ctx.outputs <- (s.line, channel, sym_join (env_get env src) pc) :: ctx.outputs;
+    env
+  | Assert_leq { var; label } ->
+    ctx.asserts <- (s.line, var, sym_join (env_get env var) pc, label) :: ctx.asserts;
+    env
+  | Call { func; args } -> (
+    match Hashtbl.find_opt ctx.summaries func with
+    | None ->
+      (* Dependency order guarantees this only happens for unknown
+         functions, which validate already rejects. *)
+      env
+    | Some sm ->
+      let arg_syms = Array.of_list (List.map (fun (v, _) -> env_get env v) args) in
+      (* Re-emit the callee's flows, composed with the argument syms
+         and the current pc. *)
+      List.iter
+        (fun (line, ch, s') ->
+          ctx.outputs <- (line, ch, sym_join (subst s' arg_syms) pc) :: ctx.outputs)
+        sm.outputs;
+      List.iter
+        (fun (line, v, s', bound) ->
+          ctx.asserts <- (line, v, sym_join (subst s' arg_syms) pc, bound) :: ctx.asserts)
+        sm.asserts;
+      (* Write back post-call labels; consume moved arguments. *)
+      List.fold_left
+        (fun env (i, (v, mode)) ->
+          let post = sym_join (subst sm.param_out.(i) arg_syms) pc in
+          match (mode : Ast.arg_mode) with
+          | By_move ->
+            Hashtbl.replace ctx.moved v ();
+            Env.remove v env
+          | By_borrow -> if sm.param_moved.(i) then Env.remove v env else Env.add v post env)
+        env
+        (List.mapi (fun i a -> (i, a)) args))
+
+and block ctx pc env stmts = List.fold_left (step ctx pc) env stmts
+
+(* Topological order of the (acyclic) call graph: callees first. *)
+let dependency_order (program : Ast.program) =
+  let rec callees acc stmts =
+    List.fold_left
+      (fun acc (s : Ast.stmt) ->
+        match s.op with
+        | Call { func; _ } -> func :: acc
+        | If { then_; else_; _ } -> callees (callees acc then_) else_
+        | While { body; _ } -> callees acc body
+        | Alloc _ | Const_write _ | Append _ | Move _ | Alias _ | Copy _ | Declassify _
+        | Output _ | Assert_leq _ ->
+          acc)
+      acc stmts
+  in
+  let visited = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit fname =
+    if not (Hashtbl.mem visited fname) then begin
+      Hashtbl.replace visited fname ();
+      (match Ast.find_func program fname with
+      | None -> ()
+      | Some f ->
+        List.iter visit (callees [] f.body);
+        order := f :: !order)
+    end
+  in
+  List.iter (fun (f : Ast.func) -> visit f.fname) program.funcs;
+  List.rev !order
+
+let summarize_into ctx =
+  List.iter
+    (fun (f : Ast.func) ->
+      ctx.outputs <- [];
+      ctx.asserts <- [];
+      ctx.moved <- Hashtbl.create 4;
+      let env =
+        List.fold_left
+          (fun (i, env) p -> (i + 1, Env.add p (of_param i) env))
+          (0, Env.empty) f.params
+        |> snd
+      in
+      let final = block ctx bot env f.body in
+      let params = Array.of_list f.params in
+      let sm =
+        {
+          fname = f.fname;
+          param_out =
+            Array.mapi
+              (fun i p ->
+                if Hashtbl.mem ctx.moved p then of_param i else env_get final p)
+              params;
+          param_moved = Array.map (fun p -> Hashtbl.mem ctx.moved p) params;
+          outputs = List.rev ctx.outputs;
+          asserts = List.rev ctx.asserts;
+        }
+      in
+      Hashtbl.replace ctx.summaries f.fname sm)
+    (dependency_order ctx.program)
+
+let make_ctx program =
+  {
+    program;
+    summaries = Hashtbl.create 8;
+    transfers = 0;
+    outputs = [];
+    asserts = [];
+    moved = Hashtbl.create 4;
+  }
+
+let summarize (program : Ast.program) =
+  match program.dialect with
+  | Aliased -> Error "summaries require the safe dialect (aliasing breaks confinement)"
+  | Safe ->
+    let ctx = make_ctx program in
+    summarize_into ctx;
+    Ok (List.filter_map (fun (f : Ast.func) -> Hashtbl.find_opt ctx.summaries f.fname)
+          (dependency_order program))
+
+(* ------------------------------------------------------------------ *)
+(* Verification of main using summaries at call sites.                 *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_compositional (program : Ast.program) =
+  match program.dialect with
+  | Aliased -> Error "compositional analysis requires the safe dialect"
+  | Safe ->
+    let ctx = make_ctx program in
+    summarize_into ctx;
+    (* Run main in the same symbolic engine: with no parameters in
+       scope every sym is ground (deps = ∅), so checks are decidable. *)
+    ctx.outputs <- [];
+    ctx.asserts <- [];
+    ctx.moved <- Hashtbl.create 4;
+    ignore (block ctx bot Env.empty program.main);
+    let ground s = eval s [||] in
+    let findings = ref [] in
+    List.iter
+      (fun (line, channel, s) ->
+        let bound =
+          match Ast.find_channel program channel with
+          | Some c -> c.Ast.bound
+          | None -> Label.public
+        in
+        let label = ground s in
+        if not (Label.leq label bound) then
+          findings :=
+            { Abstract.line; subject = channel; label; bound; what = Leaky_output channel }
+            :: !findings)
+      ctx.outputs;
+    List.iter
+      (fun (line, var, s, bound) ->
+        let label = ground s in
+        if not (Label.leq label bound) then
+          findings := { Abstract.line; subject = var; label; bound; what = Failed_assert } :: !findings)
+      ctx.asserts;
+    let findings =
+      List.sort (fun (a : Abstract.finding) b -> compare (a.line, a.subject) (b.line, b.subject)) !findings
+    in
+    Ok { Abstract.findings; transfers = ctx.transfers }

@@ -1,0 +1,45 @@
+(** Compositional IFC via per-function summaries — the paper's §4
+    closing observation: "in the absence of aliasing, the effect of
+    every function on security labels is confined to its input
+    arguments and can be summarized by analyzing the code of the
+    function in isolation from the rest of the program".
+
+    A summary gives, for each parameter, the label of its cell after
+    the call as a {!sym}bolic join of a constant and a subset of the
+    {e input} parameter labels, plus the set of channel outputs and
+    assertions the function performs (also symbolic). Summaries are
+    computed once per function, bottom-up over the (acyclic) call
+    graph; call sites then apply them in O(|summary|) instead of
+    re-analysing the body — E7 measures exactly this saving.
+
+    Only valid for the Safe dialect: with aliasing, a callee could
+    change the label of state not passed to it at all. *)
+
+module Int_set : Set.S with type elt = int
+
+type sym = { const : Label.t; deps : Int_set.t }
+(** Denotes [const ⊔ ⊔ {label(param i) | i ∈ deps}]. *)
+
+type t = {
+  fname : string;
+  param_out : sym array;       (** Post-call label of each argument's cell. *)
+  param_moved : bool array;    (** Whether the body consumes the parameter. *)
+  outputs : (int * string * sym) list;
+      (** (line, channel, data ⊔ pc) flows the body performs. *)
+  asserts : (int * string * sym * Label.t) list;
+}
+
+val eval : sym -> Label.t array -> Label.t
+(** Instantiate a symbolic label with concrete argument labels. *)
+
+val summarize : Ast.program -> (t list, string) result
+(** Summaries for every function, in dependency order. [Error] for
+    Aliased-dialect programs (or recursion, which {!Ast.validate}
+    rejects anyway). The returned count of transfer applications is
+    available via {!analyze_compositional}. *)
+
+val analyze_compositional : Ast.program -> (Abstract.report, string) result
+(** Full verification of [main] using summaries at call sites. The
+    report's [transfers] includes both summary construction and the
+    main-body pass — directly comparable with
+    [Abstract.analyze Exact_ownership], which inlines every call. *)

@@ -1,0 +1,48 @@
+(** The verification front-end — our stand-in for the SMACK-based
+    toolchain of §4 ("we extended the SMACK verifier with an early
+    version of the Rust frontend").
+
+    [verify] validates the program, runs the linearity (ownership)
+    check where applicable, picks or accepts an analysis strategy, and
+    returns a combined report with a verdict and a deterministic cost
+    metric (transfer-function applications, plus points-to solver
+    iterations when Andersen runs). *)
+
+type strategy =
+  | Exact
+      (** Flow-sensitive abstract interpretation with strong updates —
+          sound {e because} the safe dialect has no aliasing. The
+          paper's proposal. Safe dialect only. *)
+  | Compositional
+      (** Same soundness, function summaries instead of inlining (§4's
+          scalability improvement). Safe dialect only. *)
+  | Naive_no_alias
+      (** Conventional language, alias step skipped: fast but unsound
+          (misses the line-17 exploit). *)
+  | Andersen
+      (** Conventional language done right: points-to + weak updates.
+          Sound, slower, less precise. *)
+
+type verdict = Verified | Rejected
+
+type report = {
+  strategy : strategy;
+  verdict : verdict;
+  ownership_errors : Ownership.violation list;
+      (** Linearity violations (Safe-dialect strategies only) — the
+          rustc side of the §4 story. *)
+  findings : Abstract.finding list;     (** IFC flow violations. *)
+  transfers : int;
+  alias_locations : int;                (** 0 unless Andersen ran. *)
+  alias_iterations : int;
+}
+
+val strategy_name : strategy -> string
+
+val default_strategy : Ast.program -> strategy
+(** [Exact] for Safe programs, [Andersen] for Aliased ones. *)
+
+val verify : ?strategy:strategy -> Ast.program -> (report, string) result
+(** [Error] on validation failure or a dialect/strategy mismatch. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,34 @@
+(** Atomically reference-counted sharing — the analogue of
+    [std::sync::Arc].
+
+    Same discipline as {!Rc} but safe to clone/drop/upgrade from
+    multiple OCaml domains: counters are atomics and the weak-upgrade
+    path is a CAS loop that can never resurrect a dead cell.
+
+    The scratch word is atomic too, and {!try_claim_scratch} provides
+    the compare-and-swap a *thread-safe* checkpointer needs to claim
+    first-visit of a shared node (§5's "efficient and thread-safe"). *)
+
+type 'a t
+type 'a weak
+
+val create : ?label:string -> 'a -> 'a t
+val clone : 'a t -> 'a t
+val get : 'a t -> 'a
+val drop : 'a t -> unit
+val strong_count : 'a t -> int
+val downgrade : 'a t -> 'a weak
+
+val upgrade : 'a weak -> 'a t option
+(** Lock-free; returns [None] once the last strong handle is gone. *)
+
+val upgrade_exn : 'a weak -> 'a t
+val ptr_eq : 'a t -> 'a t -> bool
+val id : 'a t -> int
+
+val scratch : 'a t -> int
+val set_scratch : 'a t -> int -> unit
+
+val try_claim_scratch : 'a t -> expected:int -> desired:int -> bool
+(** Atomic compare-and-set on the scratch word. Returns [true] iff this
+    caller performed the transition — i.e. it is the first visitor. *)

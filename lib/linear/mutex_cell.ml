@@ -1,0 +1,34 @@
+type 'a t = { mutex : Mutex.t; mutable content : 'a; label : string }
+
+let next = ref 0
+
+let create ?label content =
+  incr next;
+  let label = match label with Some l -> l | None -> Printf.sprintf "mutex#%d" !next in
+  { mutex = Mutex.create (); content; label }
+
+let label t = t.label
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let content, result = f t.content in
+      t.content <- content;
+      result)
+
+let update t f = with_lock t (fun v -> (f v, ()))
+let get t = with_lock t (fun v -> (v, v))
+let set t v = with_lock t (fun _ -> (v, ()))
+
+let try_with_lock t f =
+  if Mutex.try_lock t.mutex then
+    Some
+      (Fun.protect
+         ~finally:(fun () -> Mutex.unlock t.mutex)
+         (fun () ->
+           let content, result = f t.content in
+           t.content <- content;
+           result))
+  else None

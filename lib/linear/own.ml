@@ -1,0 +1,65 @@
+type 'a state = Live of 'a | Moved
+
+type 'a t = {
+  mutable state : 'a state;
+  mutable shared : int;
+  mutable mut : bool;
+  label : string;
+}
+
+let counter = ref 0
+
+let create ?label value =
+  incr counter;
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "own#%d" !counter
+  in
+  { state = Live value; shared = 0; mut = false; label }
+
+let label t = t.label
+let is_live t = match t.state with Live _ -> true | Moved -> false
+
+let live_value t =
+  match t.state with
+  | Live v -> v
+  | Moved -> Lin_error.raise_violation (Use_after_move t.label)
+
+let check_unborrowed t =
+  if t.shared > 0 || t.mut then
+    Lin_error.raise_violation
+      (Move_while_borrowed { label = t.label; shared = t.shared; mut = t.mut })
+
+let consume t =
+  let v = live_value t in
+  check_unborrowed t;
+  t.state <- Moved;
+  v
+
+let move t =
+  let v = consume t in
+  { state = Live v; shared = 0; mut = false; label = t.label }
+
+let borrow t f =
+  let v = live_value t in
+  if t.mut then
+    Lin_error.raise_violation
+      (Borrow_conflict { label = t.label; requested_mut = false; shared = t.shared; mut = true });
+  t.shared <- t.shared + 1;
+  Fun.protect ~finally:(fun () -> t.shared <- t.shared - 1) (fun () -> f v)
+
+let borrow_mut t f =
+  let v = live_value t in
+  if t.shared > 0 || t.mut then
+    Lin_error.raise_violation
+      (Borrow_conflict { label = t.label; requested_mut = true; shared = t.shared; mut = t.mut });
+  t.mut <- true;
+  Fun.protect ~finally:(fun () -> t.mut <- false) (fun () -> f v)
+
+let replace t v =
+  let old = live_value t in
+  check_unborrowed t;
+  t.state <- Live v;
+  old
+
+let borrow_count t = t.shared
+let mut_borrowed t = t.mut

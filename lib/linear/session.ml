@@ -1,0 +1,103 @@
+(* Nominal (hence injective-in-all-parameters) phantom protocol types;
+   never inhabited, only used as type-level protocol tags. *)
+type ('a, 'p) send = |
+type ('a, 'p) recv = |
+type ('p, 'q) choose = |
+type ('p, 'q) offer = |
+type stop = |
+
+type (_, _) dual =
+  | Stop : (stop, stop) dual
+  | Send : ('p, 'q) dual -> (('a, 'p) send, ('a, 'q) recv) dual
+  | Recv : ('p, 'q) dual -> (('a, 'p) recv, ('a, 'q) send) dual
+  | Choose : ('p1, 'q1) dual * ('p2, 'q2) dual -> (('p1, 'p2) choose, ('q1, 'q2) offer) dual
+  | Offer : ('p1, 'q1) dual * ('p2, 'q2) dual -> (('p1, 'p2) offer, ('q1, 'q2) choose) dual
+
+(* One conduit per session: two directed queues. Payloads are [Obj.t];
+   this is safe because [create]'s duality witness forces the two
+   endpoints' protocols to agree on the type of every exchanged value,
+   and each queue slot is written at the type the reader expects. *)
+type conduit = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  a_to_b : Obj.t Queue.t;
+  b_to_a : Obj.t Queue.t;
+}
+
+type side = A | B
+
+type 'p t = {
+  conduit : conduit;
+  side : side;
+  mutable live : bool;
+  label : string;
+}
+
+let counter = ref 0
+
+let create (_ : ('p, 'q) dual) =
+  incr counter;
+  let conduit =
+    { mutex = Mutex.create (); cond = Condition.create (); a_to_b = Queue.create ();
+      b_to_a = Queue.create () }
+  in
+  let label suffix = Printf.sprintf "session#%d.%s" !counter suffix in
+  ( { conduit; side = A; live = true; label = label "a" },
+    { conduit; side = B; live = true; label = label "b" } )
+
+let consume t =
+  if not t.live then Lin_error.raise_violation (Use_after_move t.label);
+  t.live <- false;
+  { t with live = true }
+
+(* Re-type an endpoint at its continuation protocol. The phantom
+   parameter changes; the runtime representation does not. *)
+let retype : 'p t -> 'q t = fun t -> { t with live = t.live }
+
+let out_queue t = match t.side with A -> t.conduit.a_to_b | B -> t.conduit.b_to_a
+let in_queue t = match t.side with A -> t.conduit.b_to_a | B -> t.conduit.a_to_b
+
+let push t v =
+  Mutex.lock t.conduit.mutex;
+  Queue.push v (out_queue t);
+  Condition.broadcast t.conduit.cond;
+  Mutex.unlock t.conduit.mutex
+
+let pop t =
+  Mutex.lock t.conduit.mutex;
+  let q = in_queue t in
+  while Queue.is_empty q do
+    Condition.wait t.conduit.cond t.conduit.mutex
+  done;
+  let v = Queue.pop q in
+  Mutex.unlock t.conduit.mutex;
+  v
+
+let send t v =
+  let t = consume t in
+  push t (Obj.repr v);
+  retype t
+
+let recv t =
+  let t = consume t in
+  let v = Obj.obj (pop t) in
+  (v, retype t)
+
+(* Branch selections travel as booleans. *)
+let choose_left t =
+  let t = consume t in
+  push t (Obj.repr true);
+  retype t
+
+let choose_right t =
+  let t = consume t in
+  push t (Obj.repr false);
+  retype t
+
+let offer t =
+  let t = consume t in
+  if (Obj.obj (pop t) : bool) then Either.Left (retype t) else Either.Right (retype t)
+
+let close t = ignore (consume t)
+
+let is_live t = t.live

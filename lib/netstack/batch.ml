@@ -1,0 +1,71 @@
+type t = {
+  mutable pkts : Packet.t option array;
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Batch.create: capacity must be positive";
+  { pkts = Array.make capacity None; len = 0 }
+
+let length t = t.len
+let capacity t = Array.length t.pkts
+let is_empty t = t.len = 0
+
+let push t p =
+  if t.len = Array.length t.pkts then invalid_arg "Batch.push: batch full";
+  t.pkts.(t.len) <- Some p;
+  t.len <- t.len + 1
+
+let of_list ps =
+  let b = create ~capacity:(max 1 (List.length ps)) in
+  List.iter (push b) ps;
+  b
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Batch.get: out of bounds";
+  match t.pkts.(i) with
+  | Some p -> p
+  | None -> assert false
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun p -> acc := f !acc p) t;
+  !acc
+
+let filter_in_place t keep =
+  let dropped = ref [] in
+  let w = ref 0 in
+  for i = 0 to t.len - 1 do
+    let p = get t i in
+    if keep p then begin
+      t.pkts.(!w) <- Some p;
+      incr w
+    end
+    else dropped := p :: !dropped
+  done;
+  for i = !w to t.len - 1 do
+    t.pkts.(i) <- None
+  done;
+  t.len <- !w;
+  List.rev !dropped
+
+let take_all t =
+  let ps = ref [] in
+  for i = t.len - 1 downto 0 do
+    ps := get t i :: !ps;
+    t.pkts.(i) <- None
+  done;
+  t.len <- 0;
+  !ps
+
+let packets t =
+  let ps = ref [] in
+  for i = t.len - 1 downto 0 do
+    ps := get t i :: !ps
+  done;
+  !ps

@@ -1,0 +1,35 @@
+(** Packet batches.
+
+    NetBricks "retrieves packets from DPDK in batches of user-defined
+    size and feeds them to the pipeline, which processes the batch to
+    completion before starting the next batch". A batch is the unit of
+    ownership transfer between pipeline stages: in the isolated
+    pipeline it moves across domain boundaries wrapped in a
+    {!Linear.Own.t}, so "only one pipeline stage can access the batch
+    at any time". *)
+
+type t
+
+val create : capacity:int -> t
+val of_list : Packet.t list -> t
+
+val length : t -> int
+val capacity : t -> int
+val is_empty : t -> bool
+
+val push : t -> Packet.t -> unit
+(** Raises [Invalid_argument] when full. *)
+
+val get : t -> int -> Packet.t
+val iter : (Packet.t -> unit) -> t -> unit
+val fold : ('a -> Packet.t -> 'a) -> 'a -> t -> 'a
+
+val filter_in_place : t -> (Packet.t -> bool) -> Packet.t list
+(** Keep packets satisfying the predicate (preserving order); returns
+    the dropped ones so the caller can release their buffers. *)
+
+val take_all : t -> Packet.t list
+(** Empty the batch, returning its packets. *)
+
+val packets : t -> Packet.t list
+(** Non-destructive snapshot, oldest first. *)

@@ -1,0 +1,58 @@
+type mode = Untagged | Tagged
+
+type t = {
+  clock : Cycles.Clock.t;
+  pool : Mempool.t;
+  mutable mode : mode;
+  tag_base : int64;
+  tag_span : int;
+  mutable tag_checks : int;
+}
+
+let tag_table_bytes = 1 lsl 20 (* 1 MiB of ownership tags *)
+
+let create ~clock ~pool ?(mode = Untagged) () =
+  {
+    clock;
+    pool;
+    mode;
+    tag_base = Cycles.Clock.alloc_addr clock ~bytes:tag_table_bytes;
+    tag_span = tag_table_bytes;
+    tag_checks = 0;
+  }
+
+let clock t = t.clock
+let pool t = t.pool
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+
+(* One tag word per 64-byte granule of the shared heap, direct-mapped
+   into the metadata table. *)
+let tag_check t addr =
+  let granule = Int64.div addr 64L in
+  let slot = Int64.rem granule (Int64.of_int (t.tag_span / 8)) in
+  let tag_addr = Int64.add t.tag_base (Int64.mul slot 8L) in
+  (* Hash the address into the metadata table, load the tag word,
+     resolve the owning principal and compare permission bits (LXFI
+     does all of this per dereference). *)
+  Cycles.Clock.charge t.clock (Alu 6);
+  Cycles.Clock.touch t.clock tag_addr ~bytes:8;
+  Cycles.Clock.charge t.clock Branch_hit;
+  t.tag_checks <- t.tag_checks + 1
+
+let touch t (p : Packet.t) ~off ~bytes =
+  let addr = Int64.add p.addr (Int64.of_int off) in
+  (match t.mode with
+  | Untagged -> ()
+  | Tagged ->
+    (* Mao et al. validate on {e each} pointer dereference: one check
+       per 32-bit word loaded/stored. *)
+    for w = 0 to ((max 1 bytes - 1) / 4) do
+      tag_check t (Int64.add addr (Int64.of_int (w * 4)))
+    done);
+  Cycles.Clock.touch t.clock addr ~bytes
+
+let touch_packet = touch
+let touch_packet_write = touch
+
+let tag_checks t = t.tag_checks

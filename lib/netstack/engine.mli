@@ -1,0 +1,40 @@
+(** The packet-processing engine context.
+
+    Bundles what every stage needs: the virtual clock, the buffer pool
+    and the memory-access mode. The mode distinguishes the paper's SFI
+    baselines:
+
+    - [Untagged] — plain accesses; used by the direct pipeline and by
+      the Rust-style linear SFI, whose whole point is that {e no}
+      per-access validation is needed.
+    - [Tagged] — the Mao et al. [27] shared-heap architecture: "tags
+      every object on the heap with the ID of the domain that currently
+      owns the object ... introduces a runtime overhead of over 100 %
+      due to tag validation performed on each pointer dereference".
+      Every packet access additionally hashes the address and touches
+      the tag-metadata table, then branches on the result.
+
+    Stages must route all packet-memory traffic through
+    {!touch_packet} / {!touch_packet_write} so that mode accounting is
+    uniform. *)
+
+type mode = Untagged | Tagged
+
+type t
+
+val create : clock:Cycles.Clock.t -> pool:Mempool.t -> ?mode:mode -> unit -> t
+
+val clock : t -> Cycles.Clock.t
+val pool : t -> Mempool.t
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+
+val touch_packet : t -> Packet.t -> off:int -> bytes:int -> unit
+(** Charge a read of [bytes] bytes at offset [off] of the packet
+    buffer; in [Tagged] mode also charge the ownership-tag check. *)
+
+val touch_packet_write : t -> Packet.t -> off:int -> bytes:int -> unit
+(** Writes additionally update the tag line in [Tagged] mode. *)
+
+val tag_checks : t -> int
+(** Number of tag validations performed so far (Tagged mode only). *)

@@ -1,0 +1,136 @@
+let drop_packets engine dropped =
+  List.iter (fun p -> Mempool.free (Engine.pool engine) p) dropped
+
+let null = Stage.make ~name:"null" (fun _engine batch -> batch)
+
+let ttl_decrement =
+  Stage.make ~name:"ttl-dec" (fun engine batch ->
+      let clock = Engine.clock engine in
+      let dropped =
+        Batch.filter_in_place batch (fun p ->
+            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+              ~bytes:Packet.ipv4_header_bytes;
+            Cycles.Clock.charge clock (Alu 4);
+            let ttl = Packet.ttl p in
+            if ttl <= 1 then false
+            else begin
+              Packet.set_ttl p (ttl - 1);
+              Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 8) ~bytes:4;
+              true
+            end)
+      in
+      drop_packets engine dropped;
+      batch)
+
+let checksum_verify =
+  Stage.make ~name:"csum" (fun engine batch ->
+      let clock = Engine.clock engine in
+      let dropped =
+        Batch.filter_in_place batch (fun p ->
+            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+              ~bytes:Packet.ipv4_header_bytes;
+            (* RFC 1071 over ten 16-bit words. *)
+            Cycles.Clock.charge clock (Alu 12);
+            Packet.ipv4_checksum_ok p)
+      in
+      drop_packets engine dropped;
+      batch)
+
+let backend_ip backend = Int32.logor 0x0A010000l (Int32.of_int (backend land 0xffff))
+
+let maglev mg =
+  Stage.make ~name:"maglev" (fun engine batch ->
+      Batch.iter
+        (fun p ->
+          (* Read the 5-tuple from the headers. *)
+          Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+            ~bytes:(Packet.ipv4_header_bytes + 4);
+          let flow = Packet.flow_of p in
+          let backend = Maglev.lookup mg flow in
+          (* Rewrite the destination to the chosen backend. *)
+          Packet.set_dst_ip p (backend_ip backend);
+          Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 16) ~bytes:4)
+        batch;
+      batch)
+
+let maglev_gre mg ~vip =
+  Stage.make ~name:"maglev-gre" (fun engine batch ->
+      let dropped =
+        Batch.filter_in_place batch (fun p ->
+            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+              ~bytes:(Packet.ipv4_header_bytes + 4);
+            let flow = Packet.flow_of p in
+            let backend = Maglev.lookup mg flow in
+            match Packet.encap_gre p ~outer_src:vip ~outer_dst:(backend_ip backend) with
+            | () ->
+              (* The shift + new outer header touch the whole frame. *)
+              Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
+              Cycles.Clock.charge (Engine.clock engine) (Copy Packet.gre_overhead_bytes);
+              true
+            | exception Invalid_argument _ -> false)
+      in
+      drop_packets engine dropped;
+      batch)
+
+let gre_decap =
+  Stage.make ~name:"gre-decap" (fun engine batch ->
+      let dropped =
+        Batch.filter_in_place batch (fun p ->
+            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+              ~bytes:Packet.ipv4_header_bytes;
+            if Packet.is_gre p then begin
+              Packet.decap_gre p;
+              Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
+              true
+            end
+            else false)
+      in
+      drop_packets engine dropped;
+      batch)
+
+let firewall ~name verdict =
+  Stage.make ~name (fun engine batch ->
+      let clock = Engine.clock engine in
+      let dropped =
+        Batch.filter_in_place batch (fun p ->
+            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+              ~bytes:(Packet.ipv4_header_bytes + 4);
+            Cycles.Clock.charge clock (Alu 6);
+            verdict (Packet.flow_of p))
+      in
+      drop_packets engine dropped;
+      batch)
+
+let payload_scan =
+  Stage.make ~name:"payload-scan" (fun engine batch ->
+      let clock = Engine.clock engine in
+      Batch.iter
+        (fun p ->
+          let off = Packet.payload_offset p in
+          let len = Packet.payload_length p in
+          Engine.touch_packet engine p ~off ~bytes:len;
+          let sum = ref 0 in
+          for i = 0 to len - 1 do
+            sum := !sum + Packet.read_payload_byte p i
+          done;
+          Cycles.Clock.charge clock (Alu len);
+          ignore !sum)
+        batch;
+      batch)
+
+let fault_injector ~panic_after =
+  if panic_after <= 0 then invalid_arg "Filters.fault_injector: panic_after must be positive";
+  let seen = ref 0 in
+  Stage.make ~name:"fault-injector" (fun _engine batch ->
+      incr seen;
+      if !seen >= panic_after then
+        Sfi.Panic.panicf "fault-injector: simulated crash on batch %d" !seen;
+      batch)
+
+let triggered_fault ~trigger =
+  Stage.make ~name:"triggered-fault" (fun _engine batch ->
+      if !trigger then begin
+        trigger := false;
+        Sfi.Panic.panic "triggered-fault: injected crash"
+      end;
+      batch)

@@ -1,0 +1,54 @@
+(** The network functions used by the evaluation.
+
+    [null] is Figure 2's measurement probe ("forward batches of packets
+    without doing any work on them"); [maglev] is the realistic
+    comparison NF; the rest populate the examples and the wider test
+    surface (TTL/hop processing, checksum verification, firewalling,
+    DPI-style payload scans, and deterministic fault injection for the
+    recovery experiment). *)
+
+val null : Stage.t
+(** Forwards the batch untouched. *)
+
+val ttl_decrement : Stage.t
+(** Per packet: read the IPv4 header, decrement TTL (incremental
+    checksum fix), drop the packet when TTL hits zero (releasing its
+    buffer). *)
+
+val checksum_verify : Stage.t
+(** Per packet: validate the IPv4 header checksum; drops corrupt
+    packets. *)
+
+val maglev : Maglev.t -> Stage.t
+(** Per packet: extract the 5-tuple, steer through the Maglev tables,
+    rewrite the destination IP to the chosen backend
+    (10.1.0.[backend]). *)
+
+val maglev_gre : Maglev.t -> vip:int32 -> Stage.t
+(** The full NSDI'16 forwarding path: steer, then encapsulate the
+    packet in a GRE tunnel from the load balancer ([vip]) to the
+    chosen backend. Packets that cannot take the 24-byte overhead are
+    dropped (and their buffers released). *)
+
+val gre_decap : Stage.t
+(** Backend-side: strip the GRE tunnel header (dropping non-GRE
+    packets). *)
+
+val firewall : name:string -> (Flow.t -> bool) -> Stage.t
+(** Per packet: extract the 5-tuple and apply the verdict function
+    ([true] = pass); dropped packets are released. *)
+
+val payload_scan : Stage.t
+(** Per packet: touch and sum every payload byte (DPI-style work,
+    proportional to packet size). *)
+
+val fault_injector : panic_after:int -> Stage.t
+(** Forwards batches normally until batch number [panic_after]
+    (1-based), then panics on that batch {e and every one after it} — a
+    crash-looping filter. The E3 recovery benchmark alternates
+    panic/recover against it. *)
+
+val triggered_fault : trigger:bool ref -> Stage.t
+(** Panics exactly when [!trigger] is true (clearing the trigger first,
+    so the next batch after recovery passes) — a one-shot injectable
+    fault for the transparent-recovery demonstrations. *)

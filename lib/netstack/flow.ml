@@ -1,0 +1,60 @@
+type protocol = Tcp | Udp
+
+type t = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+  protocol : protocol;
+}
+
+let make ~src_ip ~dst_ip ~src_port ~dst_port ~protocol =
+  { src_ip; dst_ip; src_port; dst_port; protocol }
+
+let equal a b =
+  Int32.equal a.src_ip b.src_ip
+  && Int32.equal a.dst_ip b.dst_ip
+  && a.src_port = b.src_port
+  && a.dst_port = b.dst_port
+  && a.protocol = b.protocol
+
+let compare = Stdlib.compare
+
+let protocol_to_string = function Tcp -> "tcp" | Udp -> "udp"
+
+(* FNV-1a, 64-bit arithmetic truncated to OCaml's int. *)
+let fnv_prime = 0x100000001B3L
+
+let fnv basis t =
+  let feed acc byte =
+    Int64.mul (Int64.logxor acc (Int64.of_int (byte land 0xff))) fnv_prime
+  in
+  let feed32 acc v =
+    let acc = feed acc (Int32.to_int v) in
+    let acc = feed acc (Int32.to_int (Int32.shift_right_logical v 8)) in
+    let acc = feed acc (Int32.to_int (Int32.shift_right_logical v 16)) in
+    feed acc (Int32.to_int (Int32.shift_right_logical v 24))
+  in
+  let acc = feed32 basis t.src_ip in
+  let acc = feed32 acc t.dst_ip in
+  let acc = feed acc t.src_port in
+  let acc = feed acc (t.src_port lsr 8) in
+  let acc = feed acc t.dst_port in
+  let acc = feed acc (t.dst_port lsr 8) in
+  let acc = feed acc (match t.protocol with Tcp -> 6 | Udp -> 17) in
+  Int64.to_int (Int64.logand acc 0x3FFFFFFFFFFFFFFFL)
+
+let hash t = fnv 0xCBF29CE484222325L t
+let hash2 t = fnv 0x84222325CBF29CE4L t
+
+let pp ppf t =
+  let ip v =
+    Printf.sprintf "%ld.%ld.%ld.%ld"
+      (Int32.logand (Int32.shift_right_logical v 24) 0xFFl)
+      (Int32.logand (Int32.shift_right_logical v 16) 0xFFl)
+      (Int32.logand (Int32.shift_right_logical v 8) 0xFFl)
+      (Int32.logand v 0xFFl)
+  in
+  Format.fprintf ppf "%s %s:%d -> %s:%d"
+    (protocol_to_string t.protocol)
+    (ip t.src_ip) t.src_port (ip t.dst_ip) t.dst_port

@@ -1,0 +1,33 @@
+(** Connection 5-tuples and their hashing.
+
+    Maglev ([§3]'s comparison network function) steers packets by
+    hashing the connection 5-tuple; the traffic generators synthesise
+    flows as 5-tuples directly. *)
+
+type protocol = Tcp | Udp
+
+type t = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+  protocol : protocol;
+}
+
+val make :
+  src_ip:int32 -> dst_ip:int32 -> src_port:int -> dst_port:int -> protocol:protocol -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** FNV-1a over the packed tuple; non-negative. Deterministic across
+    runs (unlike [Hashtbl.hash] on boxed values it is specified here,
+    so Maglev tables are stable artefacts). *)
+
+val hash2 : t -> int
+(** A second independent hash (FNV with a different offset basis), used
+    by Maglev's (offset, skip) permutation pair. *)
+
+val pp : Format.formatter -> t -> unit
+val protocol_to_string : protocol -> string

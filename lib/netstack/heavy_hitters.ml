@@ -1,0 +1,88 @@
+type entry = { mutable count : int; mutable error : int }
+
+type t = {
+  capacity : int;
+  entries : (Flow.t, entry) Hashtbl.t;
+  mutable observed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Heavy_hitters.create: capacity must be positive";
+  { capacity; entries = Hashtbl.create capacity; observed = 0 }
+
+(* Minimum counter, ties broken by flow order: eviction must be a pure
+   function of the table's contents (not of hashtable iteration order)
+   so that input replay reconstructs identical state. *)
+let find_min t =
+  Hashtbl.fold
+    (fun flow e best ->
+      match best with
+      | Some (bf, be)
+        when be.count < e.count || (be.count = e.count && Flow.compare bf flow <= 0) ->
+        best
+      | _ -> Some (flow, e))
+    t.entries None
+
+let observe ?(count = 1) t flow =
+  if count <= 0 then invalid_arg "Heavy_hitters.observe: count must be positive";
+  t.observed <- t.observed + count;
+  match Hashtbl.find_opt t.entries flow with
+  | Some e -> e.count <- e.count + count
+  | None ->
+    if Hashtbl.length t.entries < t.capacity then
+      Hashtbl.replace t.entries flow { count; error = 0 }
+    else begin
+      (* Space-Saving eviction: the newcomer inherits the minimum. *)
+      match find_min t with
+      | None -> assert false
+      | Some (victim, e) ->
+        Hashtbl.remove t.entries victim;
+        Hashtbl.replace t.entries flow { count = e.count + count; error = e.count }
+    end
+
+let estimate t flow =
+  Option.map (fun e -> (e.count, e.error)) (Hashtbl.find_opt t.entries flow)
+
+let top t k =
+  Hashtbl.fold (fun flow e acc -> (flow, e.count, e.error) :: acc) t.entries []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  |> List.filteri (fun i _ -> i < k)
+
+let observed t = t.observed
+let tracked t = Hashtbl.length t.entries
+
+let desc : t Chkpt.Checkpointable.t =
+  let open Chkpt.Checkpointable in
+  iso
+    ~inject:(fun t ->
+      let bindings = Hashtbl.fold (fun f e acc -> (f, (e.count, e.error)) :: acc) t.entries [] in
+      (t.capacity, (t.observed, bindings)))
+    ~project:(fun (capacity, (observed, bindings)) ->
+      let entries = Hashtbl.create (max 1 capacity) in
+      List.iter (fun (f, (count, error)) -> Hashtbl.replace entries f { count; error }) bindings;
+      { capacity; entries; observed })
+    (pair int (pair int (list (pair immutable (pair int int)))))
+
+let equal a b =
+  a.capacity = b.capacity
+  && a.observed = b.observed
+  && Hashtbl.length a.entries = Hashtbl.length b.entries
+  && Hashtbl.fold
+       (fun f e acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b.entries f with
+         | Some e' -> e.count = e'.count && e.error = e'.error
+         | None -> false)
+       a.entries true
+
+let stage t =
+  Stage.make ~name:"flow-stats" (fun engine batch ->
+      Batch.iter
+        (fun p ->
+          Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+            ~bytes:(Packet.ipv4_header_bytes + 4);
+          Cycles.Clock.charge (Engine.clock engine) (Alu 6);
+          observe t (Packet.flow_of p))
+        batch;
+      batch)

@@ -1,0 +1,135 @@
+type t = {
+  clock : Cycles.Clock.t;
+  table_size : int;
+  mutable backends : string array;
+  mutable table : int array;
+  table_addr : int64;
+  conn : (Flow.t, int) Hashtbl.t;
+  conn_addr : int64;
+  conn_buckets : int;
+}
+
+(* FNV-1a over a string, two different offset bases. *)
+let fnv_string basis s =
+  let acc = ref basis in
+  String.iter
+    (fun c -> acc := Int64.mul (Int64.logxor !acc (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  Int64.to_int (Int64.logand !acc 0x3FFFFFFFFFFFFFFFL)
+
+let h1 = fnv_string 0xCBF29CE484222325L
+let h2 = fnv_string 0x84222325CBF29CE4L
+
+(* The population algorithm from §3.4 of the Maglev paper. *)
+let build_table ~table_size backends =
+  let n = Array.length backends in
+  let offsets = Array.map (fun b -> h1 b mod table_size) backends in
+  let skips = Array.map (fun b -> (h2 b mod (table_size - 1)) + 1) backends in
+  let next = Array.make n 0 in
+  let table = Array.make table_size (-1) in
+  let filled = ref 0 in
+  let permutation b j = (offsets.(b) + (j * skips.(b))) mod table_size in
+  (try
+     while true do
+       for b = 0 to n - 1 do
+         if !filled < table_size then begin
+           (* Advance to this backend's next free candidate slot. *)
+           let c = ref (permutation b next.(b)) in
+           while table.(!c) >= 0 do
+             next.(b) <- next.(b) + 1;
+             c := permutation b next.(b)
+           done;
+           table.(!c) <- b;
+           next.(b) <- next.(b) + 1;
+           incr filled
+         end
+         else raise Exit
+       done
+     done
+   with Exit -> ());
+  table
+
+let create ~clock ~backends ?(table_size = 65537) () =
+  if Array.length backends = 0 then invalid_arg "Maglev.create: no backends";
+  if table_size <= 1 then invalid_arg "Maglev.create: table too small";
+  if Array.length backends > table_size then
+    invalid_arg "Maglev.create: more backends than table entries";
+  let conn_buckets = 16384 in
+  {
+    clock;
+    table_size;
+    backends = Array.copy backends;
+    table = build_table ~table_size backends;
+    table_addr = Cycles.Clock.alloc_addr clock ~bytes:(table_size * 4);
+    conn = Hashtbl.create conn_buckets;
+    conn_addr = Cycles.Clock.alloc_addr clock ~bytes:(conn_buckets * 16);
+    conn_buckets;
+  }
+
+let table_size t = t.table_size
+let backend_count t = Array.length t.backends
+
+let backend_name t i =
+  if i < 0 || i >= Array.length t.backends then invalid_arg "Maglev.backend_name";
+  t.backends.(i)
+
+let table_entry t i =
+  if i < 0 || i >= t.table_size then invalid_arg "Maglev.table_entry";
+  t.table.(i)
+
+let connection_count t = Hashtbl.length t.conn
+
+let charge_hash t = Cycles.Clock.charge t.clock (Alu 12)
+
+let touch_table_entry t idx =
+  Cycles.Clock.touch t.clock (Int64.add t.table_addr (Int64.of_int (idx * 4))) ~bytes:4
+
+let touch_conn_bucket t flow =
+  let bucket = Flow.hash2 flow mod t.conn_buckets in
+  Cycles.Clock.touch t.clock (Int64.add t.conn_addr (Int64.of_int (bucket * 16))) ~bytes:16
+
+let lookup_no_track t flow =
+  charge_hash t;
+  let idx = Flow.hash flow mod t.table_size in
+  touch_table_entry t idx;
+  t.table.(idx)
+
+let lookup t flow =
+  charge_hash t;
+  touch_conn_bucket t flow;
+  Cycles.Clock.charge t.clock Branch_hit;
+  match Hashtbl.find_opt t.conn flow with
+  | Some backend -> backend
+  | None ->
+    let idx = Flow.hash flow mod t.table_size in
+    touch_table_entry t idx;
+    let backend = t.table.(idx) in
+    (* Record affinity. *)
+    Cycles.Clock.charge t.clock (Alu 4);
+    touch_conn_bucket t flow;
+    Hashtbl.replace t.conn flow backend;
+    backend
+
+let set_backends t backends =
+  if Array.length backends = 0 then invalid_arg "Maglev.set_backends: no backends";
+  if Array.length backends > t.table_size then
+    invalid_arg "Maglev.set_backends: more backends than table entries";
+  let fresh = build_table ~table_size:t.table_size backends in
+  let changed = ref 0 in
+  for i = 0 to t.table_size - 1 do
+    (* Compare by backend *name*, since indices may be reshuffled. *)
+    let old_name = t.backends.(t.table.(i)) in
+    let new_name = backends.(fresh.(i)) in
+    if not (String.equal old_name new_name) then incr changed
+  done;
+  t.backends <- Array.copy backends;
+  t.table <- fresh;
+  !changed
+
+let imbalance t =
+  let n = Array.length t.backends in
+  let shares = Array.make n 0 in
+  Array.iter (fun b -> shares.(b) <- shares.(b) + 1) t.table;
+  let mx = Array.fold_left max 0 shares and mn = Array.fold_left min max_int shares in
+  let mean = float_of_int t.table_size /. float_of_int n in
+  float_of_int (mx - mn) /. mean

@@ -1,0 +1,32 @@
+(** Source NAT — the second realistic network function (alongside
+    {!Maglev}) used by the examples and the wider test surface.
+
+    Outbound packets have their (source IP, source port) rewritten to
+    (external IP, allocated port); the mapping is flow-stable, ports
+    are recycled from a bounded range, and exhaustion drops the packet
+    (the classic NAPT failure mode). An inverse table answers
+    {!translate_back} for return traffic. *)
+
+type t
+
+val create :
+  clock:Cycles.Clock.t -> external_ip:int32 -> ?first_port:int -> ?last_port:int -> unit -> t
+(** Port range defaults to \[10000, 60000\]. Raises [Invalid_argument]
+    on an empty or out-of-range port range. *)
+
+val external_ip : t -> int32
+
+val stage : t -> Stage.t
+(** The pipeline stage: rewrites every packet of the batch, dropping
+    packets when the port pool is exhausted. *)
+
+val translate : t -> Flow.t -> (int32 * int) option
+(** The external (ip, port) an internal flow is (or would newly be)
+    mapped to; [None] when the pool is exhausted. *)
+
+val translate_back : t -> port:int -> Flow.t option
+(** The internal flow behind an external port (return-path lookup). *)
+
+val active_mappings : t -> int
+val ports_available : t -> int
+val drops : t -> int

@@ -1,0 +1,92 @@
+type t = {
+  engine : Engine.t;
+  traffic : Traffic.t;
+  ring_addr : int64;
+  driver_state_addr : int64;
+  driver_rng : Cycles.Rng.t;
+  mutable rx_packets : int;
+  mutable tx_packets : int;
+}
+
+(* Per-packet driver bookkeeping (flow stats, mempool per-lcore cache,
+   prefetch of the next descriptor) lands somewhere in a few hundred
+   KiB of driver/kernel state; modelling it as one line touched in a
+   256 KiB region per received packet is what gives cache pressure its
+   gradual onset across batch sizes. *)
+let driver_state_bytes = 256 * 1024
+
+let create ?(driver_seed = 0xD91DL) ~engine ~traffic () =
+  {
+    engine;
+    traffic;
+    ring_addr = Cycles.Clock.alloc_addr (Engine.clock engine) ~bytes:4096;
+    driver_state_addr = Cycles.Clock.alloc_addr (Engine.clock engine) ~bytes:driver_state_bytes;
+    driver_rng = Cycles.Rng.create driver_seed;
+    rx_packets = 0;
+    tx_packets = 0;
+  }
+
+let craft_packet t (p : Packet.t) =
+  let flow = Traffic.next_flow t.traffic in
+  let payload_bytes = Traffic.payload_bytes t.traffic in
+  (match flow.Flow.protocol with
+  | Flow.Udp -> Packet.craft_udp p ~flow ~payload_bytes ~ttl:64
+  | Flow.Tcp -> Packet.craft_tcp p ~flow ~payload_bytes ~ttl:64);
+  (* The NIC DMA'd the frame: its lines are now in cache (charged as a
+     header+payload write by the driver model), and the driver
+     initialised the mbuf metadata that lives in the buffer's tail
+     (rte_mbuf is two cache lines). *)
+  Engine.touch_packet_write t.engine p ~off:0 ~bytes:p.len;
+  let pool = Engine.pool t.engine in
+  Engine.touch_packet_write t.engine p ~off:(Mempool.buf_bytes pool - 128) ~bytes:128;
+  let line = Cycles.Rng.int t.driver_rng (driver_state_bytes / 64) in
+  Cycles.Clock.touch (Engine.clock t.engine)
+    (Int64.add t.driver_state_addr (Int64.of_int (line * 64)))
+    ~bytes:8;
+  Cycles.Clock.charge (Engine.clock t.engine) (Alu 8)
+
+let rx_batch t n =
+  if n <= 0 then invalid_arg "Nic.rx_batch: batch size must be positive";
+  let clock = Engine.clock t.engine in
+  let batch = Batch.create ~capacity:n in
+  (try
+     for i = 0 to n - 1 do
+       (* Read the rx descriptor ring entry. *)
+       Cycles.Clock.touch clock
+         (Int64.add t.ring_addr (Int64.of_int (i * 16 mod 4096)))
+         ~bytes:16;
+       match Mempool.alloc (Engine.pool t.engine) with
+       | None -> raise Exit
+       | Some p ->
+         craft_packet t p;
+         Batch.push batch p;
+         t.rx_packets <- t.rx_packets + 1
+     done
+   with Exit -> ());
+  batch
+
+let free_packets t ps =
+  List.iter (fun p -> Mempool.free (Engine.pool t.engine) p) ps
+
+let tx_batch t batch =
+  let clock = Engine.clock t.engine in
+  let ps = Batch.take_all batch in
+  let n = List.length ps in
+  List.iteri
+    (fun i p ->
+      (* Write the tx descriptor. *)
+      Cycles.Clock.touch clock
+        (Int64.add t.ring_addr (Int64.of_int (2048 + (i * 16 mod 2048))))
+        ~bytes:16;
+      (* Reading the mbuf metadata to build the descriptor. *)
+      Engine.touch_packet t.engine p
+        ~off:(Mempool.buf_bytes (Engine.pool t.engine) - 128)
+        ~bytes:64;
+      Cycles.Clock.charge clock (Alu 2);
+      Mempool.free (Engine.pool t.engine) p)
+    ps;
+  t.tx_packets <- t.tx_packets + n;
+  n
+
+let rx_packets t = t.rx_packets
+let tx_packets t = t.tx_packets

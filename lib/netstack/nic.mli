@@ -1,0 +1,29 @@
+(** The synthetic NIC — our stand-in for DPDK.
+
+    Receive synthesises packets from a {!Traffic} generator into pool
+    buffers (charging the per-packet driver costs: mbuf allocation,
+    descriptor read, header writes); transmit returns buffers to the
+    pool. Packets a pipeline drops must also be released here via
+    {!free_packets} — buffer leaks surface as pool exhaustion exactly
+    like forgotten mbuf frees do with real DPDK. *)
+
+type t
+
+val create : ?driver_seed:int64 -> engine:Engine.t -> traffic:Traffic.t -> unit -> t
+(** [driver_seed] seeds the deterministic per-packet driver
+    bookkeeping traffic (one line in a 256 KiB driver-state region per
+    received packet) — the realistic "everything else the driver
+    touches" that gives Figure 2 its gradual cache-pressure onset. *)
+
+val rx_batch : t -> int -> Batch.t
+(** [rx_batch t n] produces up to [n] freshly-crafted packets (fewer
+    only if the pool runs dry). *)
+
+val tx_batch : t -> Batch.t -> int
+(** Transmit (and release) every packet of the batch; returns the
+    count. The batch is left empty. *)
+
+val free_packets : t -> Packet.t list -> unit
+
+val rx_packets : t -> int
+val tx_packets : t -> int

@@ -1,0 +1,277 @@
+type t = {
+  buf : Bytes.t;
+  mutable len : int;
+  addr : int64;
+  slot : int;
+}
+
+let eth_header_bytes = 14
+let ipv4_header_bytes = 20
+let udp_header_bytes = 8
+let tcp_header_bytes = 20
+let min_frame_bytes = 64
+
+(* Byte-order helpers: network order is big-endian. *)
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+
+let set_u16 b off v =
+  set_u8 b off (v lsr 8);
+  set_u8 b (off + 1) v
+
+let get_u32 b off =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (get_u16 b off)) 16)
+    (Int32.of_int (get_u16 b (off + 2)))
+
+let set_u32 b off v =
+  set_u16 b off (Int32.to_int (Int32.shift_right_logical v 16) land 0xffff);
+  set_u16 b (off + 2) (Int32.to_int v land 0xffff)
+
+(* --- IPv4 header ---------------------------------------------------- *)
+
+let ip_off = eth_header_bytes
+
+let check_ipv4 t =
+  if t.len < ip_off + ipv4_header_bytes then invalid_arg "Packet: truncated IPv4 header";
+  let vihl = get_u8 t.buf ip_off in
+  if vihl lsr 4 <> 4 then invalid_arg "Packet: not IPv4";
+  if vihl land 0xf <> 5 then invalid_arg "Packet: IPv4 options unsupported"
+
+(* RFC 1071 checksum of the 20-byte header, with the checksum field
+   itself treated as zero. *)
+let ipv4_checksum_compute t =
+  let sum = ref 0 in
+  for i = 0 to 9 do
+    let off = ip_off + (2 * i) in
+    let word = if i = 5 then 0 else get_u16 t.buf off in
+    sum := !sum + word
+  done;
+  let folded = ref !sum in
+  while !folded > 0xffff do
+    folded := (!folded land 0xffff) + (!folded lsr 16)
+  done;
+  lnot !folded land 0xffff
+
+let install_checksum t = set_u16 t.buf (ip_off + 10) (ipv4_checksum_compute t)
+
+let ipv4_checksum_ok t =
+  check_ipv4 t;
+  get_u16 t.buf (ip_off + 10) = ipv4_checksum_compute t
+
+(* --- Crafting ------------------------------------------------------- *)
+
+let craft ~l4_protocol ~l4_header_bytes ~write_l4 t ~flow ~payload_bytes ~ttl =
+  let total = eth_header_bytes + ipv4_header_bytes + l4_header_bytes + payload_bytes in
+  if total > Bytes.length t.buf then invalid_arg "Packet.craft: buffer too small";
+  if ttl < 0 || ttl > 255 then invalid_arg "Packet.craft: bad TTL";
+  let b = t.buf in
+  (* Ethernet: synthetic MACs derived from the IPs; ethertype IPv4. *)
+  for i = 0 to 5 do
+    set_u8 b i (Int32.to_int flow.Flow.dst_ip lsr (8 * (i mod 4)));
+    set_u8 b (6 + i) (Int32.to_int flow.Flow.src_ip lsr (8 * (i mod 4)))
+  done;
+  set_u16 b 12 0x0800;
+  (* IPv4. *)
+  set_u8 b ip_off 0x45;
+  set_u8 b (ip_off + 1) 0;
+  set_u16 b (ip_off + 2) (ipv4_header_bytes + l4_header_bytes + payload_bytes);
+  set_u16 b (ip_off + 4) 0 (* identification *);
+  set_u16 b (ip_off + 6) 0x4000 (* DF, no fragments *);
+  set_u8 b (ip_off + 8) ttl;
+  set_u8 b (ip_off + 9) l4_protocol;
+  set_u16 b (ip_off + 10) 0 (* checksum, installed below *);
+  set_u32 b (ip_off + 12) flow.Flow.src_ip;
+  set_u32 b (ip_off + 16) flow.Flow.dst_ip;
+  (* L4. *)
+  let l4 = ip_off + ipv4_header_bytes in
+  write_l4 b l4 flow;
+  (* Deterministic payload. *)
+  let pay = l4 + l4_header_bytes in
+  for i = 0 to payload_bytes - 1 do
+    set_u8 b (pay + i) (i land 0xff)
+  done;
+  t.len <- total;
+  install_checksum t
+
+let craft_udp t ~flow ~payload_bytes ~ttl =
+  (match flow.Flow.protocol with
+  | Flow.Udp -> ()
+  | Flow.Tcp -> invalid_arg "Packet.craft_udp: flow protocol is TCP");
+  craft t ~flow ~payload_bytes ~ttl ~l4_protocol:17 ~l4_header_bytes:udp_header_bytes
+    ~write_l4:(fun b l4 flow ->
+      set_u16 b l4 flow.Flow.src_port;
+      set_u16 b (l4 + 2) flow.Flow.dst_port;
+      set_u16 b (l4 + 4) (udp_header_bytes + payload_bytes);
+      set_u16 b (l4 + 6) 0 (* UDP checksum optional over IPv4 *))
+
+let craft_tcp t ~flow ~payload_bytes ~ttl =
+  (match flow.Flow.protocol with
+  | Flow.Tcp -> ()
+  | Flow.Udp -> invalid_arg "Packet.craft_tcp: flow protocol is UDP");
+  craft t ~flow ~payload_bytes ~ttl ~l4_protocol:6 ~l4_header_bytes:tcp_header_bytes
+    ~write_l4:(fun b l4 flow ->
+      set_u16 b l4 flow.Flow.src_port;
+      set_u16 b (l4 + 2) flow.Flow.dst_port;
+      set_u32 b (l4 + 4) 0l (* seq *);
+      set_u32 b (l4 + 8) 0l (* ack *);
+      set_u8 b (l4 + 12) (5 lsl 4) (* data offset *);
+      set_u8 b (l4 + 13) 0x18 (* PSH|ACK *);
+      set_u16 b (l4 + 14) 0xffff (* window *);
+      set_u16 b (l4 + 16) 0 (* checksum elided *);
+      set_u16 b (l4 + 18) 0)
+
+(* --- Accessors ------------------------------------------------------ *)
+
+let ethertype t =
+  if t.len < eth_header_bytes then invalid_arg "Packet: truncated Ethernet header";
+  get_u16 t.buf 12
+
+let protocol t =
+  check_ipv4 t;
+  match get_u8 t.buf (ip_off + 9) with
+  | 6 -> Flow.Tcp
+  | 17 -> Flow.Udp
+  | p -> invalid_arg (Printf.sprintf "Packet: unsupported IP protocol %d" p)
+
+let l4_off = ip_off + ipv4_header_bytes
+
+let flow_of t =
+  if ethertype t <> 0x0800 then invalid_arg "Packet: not IPv4 ethertype";
+  let protocol = protocol t in
+  if t.len < l4_off + 4 then invalid_arg "Packet: truncated L4 header";
+  Flow.make
+    ~src_ip:(get_u32 t.buf (ip_off + 12))
+    ~dst_ip:(get_u32 t.buf (ip_off + 16))
+    ~src_port:(get_u16 t.buf l4_off)
+    ~dst_port:(get_u16 t.buf (l4_off + 2))
+    ~protocol
+
+let ttl t =
+  check_ipv4 t;
+  get_u8 t.buf (ip_off + 8)
+
+(* RFC 1624 incremental checksum update for a 16-bit word change. *)
+let update_checksum_word t ~old_word ~new_word =
+  let csum = get_u16 t.buf (ip_off + 10) in
+  let sum = (lnot csum land 0xffff) + (lnot old_word land 0xffff) + new_word in
+  let folded = ref sum in
+  while !folded > 0xffff do
+    folded := (!folded land 0xffff) + (!folded lsr 16)
+  done;
+  set_u16 t.buf (ip_off + 10) (lnot !folded land 0xffff)
+
+let set_ttl t v =
+  check_ipv4 t;
+  if v < 0 || v > 255 then invalid_arg "Packet.set_ttl";
+  let old_word = get_u16 t.buf (ip_off + 8) in
+  set_u8 t.buf (ip_off + 8) v;
+  update_checksum_word t ~old_word ~new_word:(get_u16 t.buf (ip_off + 8))
+
+let dst_ip t =
+  check_ipv4 t;
+  get_u32 t.buf (ip_off + 16)
+
+let set_dst_ip t v =
+  check_ipv4 t;
+  let old_hi = get_u16 t.buf (ip_off + 16) and old_lo = get_u16 t.buf (ip_off + 18) in
+  set_u32 t.buf (ip_off + 16) v;
+  update_checksum_word t ~old_word:old_hi ~new_word:(get_u16 t.buf (ip_off + 16));
+  update_checksum_word t ~old_word:old_lo ~new_word:(get_u16 t.buf (ip_off + 18))
+
+let src_ip t =
+  check_ipv4 t;
+  get_u32 t.buf (ip_off + 12)
+
+let set_src_ip t v =
+  check_ipv4 t;
+  let old_hi = get_u16 t.buf (ip_off + 12) and old_lo = get_u16 t.buf (ip_off + 14) in
+  set_u32 t.buf (ip_off + 12) v;
+  update_checksum_word t ~old_word:old_hi ~new_word:(get_u16 t.buf (ip_off + 12));
+  update_checksum_word t ~old_word:old_lo ~new_word:(get_u16 t.buf (ip_off + 14))
+
+let src_port t =
+  ignore (protocol t);
+  if t.len < l4_off + 4 then invalid_arg "Packet: truncated L4 header";
+  get_u16 t.buf l4_off
+
+let set_src_port t v =
+  ignore (protocol t);
+  if t.len < l4_off + 4 then invalid_arg "Packet: truncated L4 header";
+  if v < 0 || v > 0xffff then invalid_arg "Packet.set_src_port";
+  set_u16 t.buf l4_off v
+
+let dst_port t =
+  ignore (protocol t);
+  if t.len < l4_off + 4 then invalid_arg "Packet: truncated L4 header";
+  get_u16 t.buf (l4_off + 2)
+
+let set_dst_port t v =
+  ignore (protocol t);
+  if t.len < l4_off + 4 then invalid_arg "Packet: truncated L4 header";
+  if v < 0 || v > 0xffff then invalid_arg "Packet.set_dst_port";
+  set_u16 t.buf (l4_off + 2) v
+
+let l4_header_bytes t =
+  match protocol t with Flow.Tcp -> tcp_header_bytes | Flow.Udp -> udp_header_bytes
+
+let payload_offset t = l4_off + l4_header_bytes t
+
+let ip_total_length t =
+  check_ipv4 t;
+  get_u16 t.buf (ip_off + 2)
+
+let payload_length t = ip_total_length t + eth_header_bytes - payload_offset t
+
+let read_payload_byte t i =
+  let off = payload_offset t + i in
+  if i < 0 || off >= t.len then invalid_arg "Packet.read_payload_byte: out of bounds";
+  get_u8 t.buf off
+
+(* --- GRE encapsulation ----------------------------------------------- *)
+
+let gre_overhead_bytes = ipv4_header_bytes + 4
+
+let encap_gre t ~outer_src ~outer_dst =
+  check_ipv4 t;
+  if t.len + gre_overhead_bytes > Bytes.length t.buf then
+    invalid_arg "Packet.encap_gre: buffer too small";
+  let inner_bytes = t.len - ip_off in
+  (* Shift the inner IPv4 packet right to make room for outer IP + GRE. *)
+  Bytes.blit t.buf ip_off t.buf (ip_off + gre_overhead_bytes) inner_bytes;
+  t.len <- t.len + gre_overhead_bytes;
+  let b = t.buf in
+  (* Outer IPv4 header: protocol 47 (GRE). *)
+  set_u8 b ip_off 0x45;
+  set_u8 b (ip_off + 1) 0;
+  set_u16 b (ip_off + 2) (ipv4_header_bytes + 4 + inner_bytes);
+  set_u16 b (ip_off + 4) 0;
+  set_u16 b (ip_off + 6) 0x4000;
+  set_u8 b (ip_off + 8) 64;
+  set_u8 b (ip_off + 9) 47;
+  set_u16 b (ip_off + 10) 0;
+  set_u32 b (ip_off + 12) outer_src;
+  set_u32 b (ip_off + 16) outer_dst;
+  install_checksum t;
+  (* Minimal GRE header: no flags, protocol type IPv4. *)
+  set_u16 b (ip_off + ipv4_header_bytes) 0;
+  set_u16 b (ip_off + ipv4_header_bytes + 2) 0x0800
+
+let is_gre t =
+  t.len >= ip_off + ipv4_header_bytes
+  && get_u8 t.buf ip_off lsr 4 = 4
+  && get_u8 t.buf (ip_off + 9) = 47
+
+let decap_gre t =
+  if not (is_gre t) then invalid_arg "Packet.decap_gre: not a GRE packet";
+  if get_u16 t.buf (ip_off + ipv4_header_bytes + 2) <> 0x0800 then
+    invalid_arg "Packet.decap_gre: GRE payload is not IPv4";
+  let inner_bytes = t.len - ip_off - gre_overhead_bytes in
+  Bytes.blit t.buf (ip_off + gre_overhead_bytes) t.buf ip_off inner_bytes;
+  t.len <- t.len - gre_overhead_bytes
+
+let pp ppf t =
+  match flow_of t with
+  | flow -> Format.fprintf ppf "@[%a len=%d ttl=%d@]" Flow.pp flow t.len (ttl t)
+  | exception Invalid_argument msg -> Format.fprintf ppf "<malformed: %s>" msg

@@ -1,0 +1,97 @@
+(** Packets: real byte buffers with Ethernet/IPv4/UDP/TCP headers.
+
+    A packet is a view over an mbuf-style buffer obtained from a
+    {!Mempool}; it carries the buffer's synthetic address so that
+    header accesses can be charged to the experiment's cache model (via
+    {!Engine.touch_packet} — the byte operations here are pure).
+
+    Layout crafted/parsed: Ethernet II (14 B) · IPv4 without options
+    (20 B) · UDP (8 B) or TCP (20 B) · payload. IPv4 header checksums
+    are real (RFC 1071) and verified by tests. *)
+
+type t = {
+  buf : Bytes.t;
+  mutable len : int;
+  addr : int64;       (** Synthetic base address of the buffer. *)
+  slot : int;         (** Index of the buffer in its pool. *)
+}
+
+(** {2 Sizes and offsets} *)
+
+val eth_header_bytes : int
+val ipv4_header_bytes : int
+val udp_header_bytes : int
+val tcp_header_bytes : int
+
+val min_frame_bytes : int
+(** 64 — minimum Ethernet frame, the paper's Figure-2 workload. *)
+
+(** {2 Crafting} *)
+
+val craft_udp : t -> flow:Flow.t -> payload_bytes:int -> ttl:int -> unit
+(** Write Ethernet+IPv4+UDP headers and a deterministic payload into
+    the packet for [flow], set [len], and install a correct IPv4
+    checksum. Raises [Invalid_argument] if the buffer is too small. *)
+
+val craft_tcp : t -> flow:Flow.t -> payload_bytes:int -> ttl:int -> unit
+
+(** {2 Parsing and field access}
+
+    All accessors raise [Invalid_argument] on truncated/garbage
+    packets — which inside a protection domain is a {e panic}, i.e. a
+    bounds-check fault the SFI layer must contain (tested). *)
+
+val ethertype : t -> int
+val flow_of : t -> Flow.t
+(** Extract the connection 5-tuple. *)
+
+val ttl : t -> int
+val set_ttl : t -> int -> unit
+(** Updates the checksum incrementally (RFC 1624). *)
+
+val dst_ip : t -> int32
+val set_dst_ip : t -> int32 -> unit
+(** Rewrites the destination address (Maglev backend steering) and
+    fixes the checksum. *)
+
+val src_ip : t -> int32
+val set_src_ip : t -> int32 -> unit
+(** Rewrites the source address (NAT) and fixes the checksum. *)
+
+val dst_port : t -> int
+val set_dst_port : t -> int -> unit
+
+val src_port : t -> int
+val set_src_port : t -> int -> unit
+
+val ipv4_checksum_ok : t -> bool
+
+val payload_offset : t -> int
+val payload_length : t -> int
+
+val read_payload_byte : t -> int -> int
+(** [read_payload_byte p i] is the [i]-th payload byte; bounds-checked. *)
+
+val ip_total_length : t -> int
+
+(** {2 GRE encapsulation}
+
+    Maglev forwards packets to backends inside GRE tunnels (NSDI'16
+    §3.2); these implement IPv4-over-GRE-over-IPv4. *)
+
+val gre_overhead_bytes : int
+(** 24 — outer IPv4 header (20) + minimal GRE header (4). *)
+
+val encap_gre : t -> outer_src:int32 -> outer_dst:int32 -> unit
+(** Shift the inner IPv4 packet and prepend an outer IPv4+GRE header
+    addressed to the backend. Raises [Invalid_argument] if the buffer
+    cannot take the extra 24 bytes. The outer header checksum is
+    valid; the inner packet is byte-identical. *)
+
+val is_gre : t -> bool
+
+val decap_gre : t -> unit
+(** Strip the outer IPv4+GRE header, restoring the inner packet.
+    Raises [Invalid_argument] if the packet is not GRE. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,190 @@
+type mode =
+  | Direct
+  | Isolated of Sfi.Manager.t
+  | Copying
+  | Tagged
+
+type isolated_stage = {
+  domain : Sfi.Pdomain.t;
+  mutable rref : Stage.t Sfi.Rref.t;
+}
+
+type prepared =
+  | P_calls of Stage.t array          (* Direct / Copying / Tagged share this *)
+  | P_isolated of Sfi.Manager.t * isolated_stage array
+
+type t = {
+  engine : Engine.t;
+  mode : mode;
+  prepared : prepared;
+  n_stages : int;
+  mutable batches_ok : int;
+  mutable batches_failed : int;
+}
+
+let prepare_isolated mgr stages =
+  List.map
+    (fun (stage : Stage.t) ->
+      let domain = Sfi.Manager.create_domain mgr ~name:stage.Stage.name () in
+      let rref =
+        match
+          Sfi.Pdomain.execute domain (fun () ->
+              Sfi.Rref.create domain ~label:stage.Stage.name stage)
+        with
+        | Ok r -> r
+        | Error e ->
+          invalid_arg
+            (Printf.sprintf "Pipeline: cannot install stage %s: %s" stage.Stage.name
+               (Sfi.Sfi_error.to_string e))
+      in
+      let cell = { domain; rref } in
+      (* Recovery re-publishes the same stage behind a fresh proxy. *)
+      Sfi.Pdomain.set_recovery domain
+        (Some (fun d -> cell.rref <- Sfi.Rref.create d ~label:stage.Stage.name stage));
+      cell)
+    stages
+
+let create ~engine ~mode stages =
+  if stages = [] then invalid_arg "Pipeline.create: no stages";
+  let prepared =
+    match mode with
+    | Direct | Copying | Tagged -> P_calls (Array.of_list stages)
+    | Isolated mgr -> P_isolated (mgr, Array.of_list (prepare_isolated mgr stages))
+  in
+  { engine; mode; prepared; n_stages = List.length stages; batches_ok = 0; batches_failed = 0 }
+
+let length t = t.n_stages
+
+let mode_name t =
+  match t.mode with
+  | Direct -> "direct"
+  | Isolated _ -> "isolated"
+  | Copying -> "copying"
+  | Tagged -> "tagged"
+
+(* Deep-copy every packet of the batch into fresh buffers (the next
+   domain's private heap) and release the originals. *)
+let copy_batch engine batch =
+  let clock = Engine.clock engine in
+  let pool = Engine.pool engine in
+  let ps = Batch.take_all batch in
+  let fresh = Batch.create ~capacity:(max 1 (List.length ps)) in
+  List.iter
+    (fun (src : Packet.t) ->
+      match Mempool.alloc pool with
+      | None ->
+        (* Pool pressure from double-buffering: drop the packet. *)
+        Mempool.free pool src
+      | Some dst ->
+        Bytes.blit src.Packet.buf 0 dst.Packet.buf 0 src.Packet.len;
+        dst.Packet.len <- src.Packet.len;
+        Engine.touch_packet engine src ~off:0 ~bytes:src.Packet.len;
+        Engine.touch_packet_write engine dst ~off:0 ~bytes:src.Packet.len;
+        Cycles.Clock.charge clock (Copy src.Packet.len);
+        Mempool.free pool src;
+        Batch.push fresh dst)
+    ps;
+  fresh
+
+let run_calls t stages batch =
+  let clock = Engine.clock t.engine in
+  let saved_mode = Engine.mode t.engine in
+  (match t.mode with
+  | Tagged -> Engine.set_mode t.engine Tagged
+  | Direct | Copying | Isolated _ -> ());
+  Fun.protect
+    ~finally:(fun () -> Engine.set_mode t.engine saved_mode)
+    (fun () ->
+      let current = ref batch in
+      Array.iter
+        (fun (stage : Stage.t) ->
+          (match t.mode with
+          | Copying -> current := copy_batch t.engine !current
+          | Direct | Tagged | Isolated _ -> ());
+          Cycles.Clock.charge clock Call;
+          current := stage.Stage.process t.engine !current)
+        stages;
+      Ok !current)
+
+let run_isolated t cells batch =
+  let rec go i batch =
+    if i = Array.length cells then Ok batch
+    else begin
+      let cell = cells.(i) in
+      (* Snapshot buffers so they can be reclaimed if the stage panics
+         while owning the batch. *)
+      let in_flight = Batch.packets batch in
+      let owned = Linear.Own.create ~label:"batch" batch in
+      match
+        Sfi.Rref.invoke_move cell.rref owned (fun stage b -> stage.Stage.process t.engine b)
+      with
+      | Ok batch' -> go (i + 1) batch'
+      | Error e ->
+        (* The failed domain's resources (here: the in-flight packet
+           buffers) are reclaimed by the management plane. Only buffers
+           the stage still held are reclaimed — it may already have
+           released some before panicking. *)
+        let pool = Engine.pool t.engine in
+        List.iter (fun p -> if Mempool.is_allocated pool p then Mempool.free pool p) in_flight;
+        Error e
+    end
+  in
+  go 0 batch
+
+let process t batch =
+  let result =
+    match t.prepared with
+    | P_calls stages -> run_calls t stages batch
+    | P_isolated (_, cells) -> run_isolated t cells batch
+  in
+  (match result with
+  | Ok _ -> t.batches_ok <- t.batches_ok + 1
+  | Error _ -> t.batches_failed <- t.batches_failed + 1);
+  result
+
+let recover_stage t i =
+  match t.prepared with
+  | P_calls _ -> invalid_arg "Pipeline.recover_stage: pipeline is not isolated"
+  | P_isolated (mgr, cells) ->
+    if i < 0 || i >= Array.length cells then invalid_arg "Pipeline.recover_stage: bad index";
+    Sfi.Manager.recover mgr cells.(i).domain
+
+let failed_stage t =
+  match t.prepared with
+  | P_calls _ -> None
+  | P_isolated (_, cells) ->
+    let rec scan i =
+      if i = Array.length cells then None
+      else
+        match Sfi.Pdomain.state cells.(i).domain with
+        | Sfi.Pdomain.Failed _ -> Some i
+        | Sfi.Pdomain.Running | Sfi.Pdomain.Destroyed -> scan (i + 1)
+    in
+    scan 0
+
+let batches_ok t = t.batches_ok
+let batches_failed t = t.batches_failed
+
+type stage_report = {
+  sr_name : string;
+  sr_cycles : int64;
+  sr_entries : int;
+  sr_panics : int;
+  sr_generation : int;
+}
+
+let stage_reports t =
+  match t.prepared with
+  | P_calls _ -> invalid_arg "Pipeline.stage_reports: pipeline is not isolated"
+  | P_isolated (_, cells) ->
+    Array.to_list
+      (Array.map
+         (fun cell ->
+           {
+             sr_name = Sfi.Pdomain.name cell.domain;
+             sr_cycles = Sfi.Pdomain.cycles_consumed cell.domain;
+             sr_entries = Sfi.Pdomain.entry_count cell.domain;
+             sr_panics = Sfi.Pdomain.panic_count cell.domain;
+             sr_generation = Sfi.Pdomain.generation cell.domain;
+           })
+         cells)

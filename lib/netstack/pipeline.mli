@@ -1,0 +1,68 @@
+(** The NetBricks-style run-to-completion pipeline, with selectable
+    isolation architecture.
+
+    A pipeline is an ordered list of {!Stage}s a batch flows through.
+    The four modes are the paper's §3 comparison space:
+
+    - [Direct] — plain function calls between stages, NetBricks'
+      native mode (linear types guarantee exclusive batch access, but
+      there is no fault containment).
+    - [Isolated] — {e our} SFI: every stage lives in its own protection
+      domain; the batch is handed across boundaries by ownership
+      transfer through an rref invocation. Zero data movement, no
+      per-access checks; the only cost is the ~90-cycle proxy call.
+    - [Copying] — traditional private-heap SFI (XFI/NaCl-style): each
+      boundary crossing deep-copies every packet into a buffer owned by
+      the next domain.
+    - [Tagged] — shared-heap SFI with per-dereference ownership-tag
+      validation (Mao et al.): stages run with the engine in [Tagged]
+      access mode.
+
+    A stage panic in [Isolated] mode is contained: the faulting
+    domain is marked failed, the caller gets
+    [Error (Domain_failed _)], the in-flight batch's buffers are
+    reclaimed, and {!recover_stage} restores service. In the other
+    modes a panic is fatal to the whole pipeline (which is precisely
+    the paper's point) — it propagates as an exception. *)
+
+type mode =
+  | Direct
+  | Isolated of Sfi.Manager.t
+  | Copying
+  | Tagged
+
+type t
+
+val create : engine:Engine.t -> mode:mode -> Stage.t list -> t
+(** Raises [Invalid_argument] on an empty stage list. *)
+
+val length : t -> int
+val mode_name : t -> string
+
+val process : t -> Batch.t -> (Batch.t, Sfi.Sfi_error.t) result
+(** Push one batch through all stages. On [Error], the batch's buffers
+    have been released back to the pool (the manager reclaiming the
+    failed domain's resources). *)
+
+val recover_stage : t -> int -> (unit, string) result
+(** [Isolated] only: recover the i-th stage's domain and re-publish its
+    proxy, making the failure transparent to subsequent batches.
+    Raises [Invalid_argument] in other modes. *)
+
+val failed_stage : t -> int option
+(** Index of the first stage whose domain is failed, if any. *)
+
+val batches_ok : t -> int
+val batches_failed : t -> int
+
+type stage_report = {
+  sr_name : string;
+  sr_cycles : int64;    (** Cycles attributed to the stage's domain. *)
+  sr_entries : int;
+  sr_panics : int;
+  sr_generation : int;  (** Recoveries the stage has been through. *)
+}
+
+val stage_reports : t -> stage_report list
+(** [Isolated] only: per-stage CPU and fault accounting, in pipeline
+    order. Raises [Invalid_argument] for other modes. *)

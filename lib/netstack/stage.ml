@@ -1,0 +1,6 @@
+type t = {
+  name : string;
+  process : Engine.t -> Batch.t -> Batch.t;
+}
+
+let make ~name process = { name; process }

@@ -1,0 +1,13 @@
+(** Pipeline stages: named batch transformers.
+
+    A stage is a pure description; the {!Pipeline} decides how calls to
+    it cross (or don't cross) protection boundaries. Stages receive the
+    {!Engine} so all their packet-memory traffic is accounted under the
+    pipeline's access mode. *)
+
+type t = {
+  name : string;
+  process : Engine.t -> Batch.t -> Batch.t;
+}
+
+val make : name:string -> (Engine.t -> Batch.t -> Batch.t) -> t

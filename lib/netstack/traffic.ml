@@ -1,0 +1,77 @@
+type pattern =
+  | Single_flow of Flow.t
+  | Uniform of { flows : int }
+  | Zipf of { flows : int; exponent : float }
+
+type t = {
+  rng : Cycles.Rng.t;
+  pattern : pattern;
+  payload_bytes : int;
+  protocol : Flow.protocol;
+  zipf_cdf : float array;  (* empty unless the pattern is Zipf *)
+}
+
+(* Flow [i] of the synthetic population: clients in 10.0.0.0/16 hitting
+   the virtual IP 192.168.0.1:80. *)
+let synth_flow protocol i =
+  Flow.make
+    ~src_ip:(Int32.logor 0x0A000000l (Int32.of_int (i land 0xffff)))
+    ~dst_ip:0xC0A80001l
+    ~src_port:(1024 + (i * 7 mod 50000))
+    ~dst_port:80 ~protocol
+
+let build_zipf_cdf flows exponent =
+  let weights = Array.init flows (fun i -> 1. /. Float.pow (float_of_int (i + 1)) exponent) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make flows 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(flows - 1) <- 1.0;
+  cdf
+
+let create ~rng ?(payload_bytes = 18) ?(protocol = Flow.Udp) pattern =
+  (match pattern with
+  | Uniform { flows } when flows <= 0 -> invalid_arg "Traffic: flows must be positive"
+  | Zipf { flows; _ } when flows <= 0 -> invalid_arg "Traffic: flows must be positive"
+  | Zipf { exponent; _ } when exponent <= 0. -> invalid_arg "Traffic: exponent must be positive"
+  | Single_flow _ | Uniform _ | Zipf _ -> ());
+  let zipf_cdf =
+    match pattern with
+    | Zipf { flows; exponent } -> build_zipf_cdf flows exponent
+    | Single_flow _ | Uniform _ -> [||]
+  in
+  { rng; pattern; payload_bytes; protocol; zipf_cdf }
+
+let payload_bytes t = t.payload_bytes
+
+let population t =
+  match t.pattern with
+  | Single_flow _ -> 1
+  | Uniform { flows } | Zipf { flows; _ } -> flows
+
+let flow_of_index t i =
+  match t.pattern with
+  | Single_flow flow ->
+    if i <> 0 then invalid_arg "Traffic.flow_of_index: single flow";
+    flow
+  | Uniform { flows } | Zipf { flows; _ } ->
+    if i < 0 || i >= flows then invalid_arg "Traffic.flow_of_index: out of range";
+    synth_flow t.protocol i
+
+let next_flow t =
+  match t.pattern with
+  | Single_flow flow -> flow
+  | Uniform { flows } -> synth_flow t.protocol (Cycles.Rng.int t.rng flows)
+  | Zipf _ ->
+    let u = Cycles.Rng.float t.rng 1.0 in
+    (* Binary search for the first CDF entry >= u. *)
+    let lo = ref 0 and hi = ref (Array.length t.zipf_cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.zipf_cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    synth_flow t.protocol !lo

@@ -1,0 +1,40 @@
+(** Synthetic traffic generation.
+
+    The paper's testbed feeds NetBricks from DPDK with line-rate
+    traffic; we have no NIC, so workloads are synthesised
+    deterministically. Three flow patterns cover the experiments:
+    a single flow (pure hot-cache microbenchmarks), uniform random
+    flows (Figure 2's null-filter pipelines) and a Zipf mix (realistic
+    load-balancer traffic with elephant flows, used in the Maglev and
+    checkpointing experiments). *)
+
+type pattern =
+  | Single_flow of Flow.t
+  | Uniform of { flows : int }
+      (** Each packet picks one of [flows] synthetic flows uniformly. *)
+  | Zipf of { flows : int; exponent : float }
+      (** Flow popularity follows a Zipf law with the given exponent. *)
+
+type t
+
+val create :
+  rng:Cycles.Rng.t ->
+  ?payload_bytes:int ->
+  ?protocol:Flow.protocol ->
+  pattern ->
+  t
+(** [payload_bytes] defaults to 18, which yields 64-byte minimum-size
+    Ethernet frames (14 eth + 20 ip + 8 udp + 18 + 4 FCS equivalent);
+    [protocol] defaults to [Udp]. *)
+
+val next_flow : t -> Flow.t
+(** Draw the flow of the next packet. *)
+
+val payload_bytes : t -> int
+
+val flow_of_index : t -> int -> Flow.t
+(** The [i]-th synthetic flow of the pattern's population (for tests
+    and for pre-populating connection tables). *)
+
+val population : t -> int
+(** Number of distinct flows the pattern can produce. *)

@@ -1,0 +1,63 @@
+(** Zero-copy cross-domain channels.
+
+    §3: "after passing an object reference to a function {e or
+    channel}, the caller loses access to the object". A channel is a
+    directed, bounded queue between a sender and a receiver domain:
+    {!send} consumes the caller's {!Linear.Own.t} (the zero-copy
+    ownership transfer — no bytes move) and {!recv} re-materialises an
+    owned handle on the other side. Direction is enforced against the
+    thread-local current domain, so a compromised domain cannot inject
+    into or drain a channel it is not an endpoint of.
+
+    Sending charges the virtual clock for the queue bookkeeping only —
+    constant cost, independent of payload size, which is the entire
+    point versus copying SFI. *)
+
+type 'a t
+
+type error =
+  | Full           (** Bounded capacity reached; caller keeps nothing —
+                       the message is dropped with the send (the usual
+                       lossy NIC-queue semantics); use {!send_or_fail}
+                       to treat this as a bug instead. *)
+  | Closed
+  | Wrong_domain of Domain_id.t
+      (** The calling domain is not the endpoint this operation
+          requires. *)
+
+val error_to_string : error -> string
+
+val create :
+  clock:Cycles.Clock.t ->
+  sender:Pdomain.t ->
+  receiver:Pdomain.t ->
+  capacity:int ->
+  ?label:string ->
+  unit ->
+  'a t
+
+val send : 'a t -> 'a Linear.Own.t -> (unit, error) result
+(** Consumes the handle unconditionally (ownership transfers even into
+    a failed send — as with {!Rref.invoke_move}); on [Full]/[Closed]
+    the value is dropped. Must be called from the sender domain (or
+    the kernel). *)
+
+val send_or_fail : 'a t -> 'a Linear.Own.t -> (unit, error) result
+(** Like {!send} but panics on [Full] — for pipelines where drops are
+    a bug to be contained by SFI rather than tolerated. *)
+
+val recv : 'a t -> ('a Linear.Own.t option, error) result
+(** [Ok None] when empty. Must be called from the receiver domain (or
+    the kernel). *)
+
+val close : 'a t -> unit
+(** Idempotent; subsequent sends fail, pending messages remain
+    receivable. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_closed : 'a t -> bool
+
+val sent : 'a t -> int
+val received : 'a t -> int
+val dropped : 'a t -> int

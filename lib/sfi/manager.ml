@@ -1,0 +1,108 @@
+let src = Logs.Src.create "sfi.manager" ~doc:"SFI domain manager lifecycle events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type stats = {
+  domains_created : int;
+  domains_destroyed : int;
+  recoveries : int;
+  slots_revoked_by_recovery : int;
+}
+
+type t = {
+  clock : Cycles.Clock.t;
+  heap : Heap.t;
+  mutable domains : Pdomain.t list;
+  mutable domains_created : int;
+  mutable domains_destroyed : int;
+  mutable recoveries : int;
+  mutable slots_revoked : int;
+}
+
+let create ?clock ?model ?cache_config () =
+  let clock =
+    match (clock, model, cache_config) with
+    | Some clock, None, None -> clock
+    | Some _, _, _ -> invalid_arg "Manager.create: clock excludes model/cache_config"
+    | None, None, None -> Cycles.Clock.create ()
+    | None, Some m, None -> Cycles.Clock.create ~model:m ()
+    | None, None, Some c -> Cycles.Clock.create ~cache_config:c ()
+    | None, Some m, Some c -> Cycles.Clock.create ~model:m ~cache_config:c ()
+  in
+  {
+    clock;
+    heap = Heap.create ~clock;
+    domains = [];
+    domains_created = 0;
+    domains_destroyed = 0;
+    recoveries = 0;
+    slots_revoked = 0;
+  }
+
+let clock t = t.clock
+let heap t = t.heap
+
+let create_domain t ~name ?policy ?recovery () =
+  let d = Pdomain.create ~clock:t.clock ~heap:t.heap ~name ?policy ?recovery () in
+  t.domains <- d :: t.domains;
+  t.domains_created <- t.domains_created + 1;
+  Log.info (fun m -> m "created domain %a (%s)" Domain_id.pp (Pdomain.id d) name);
+  d
+
+let domains t = t.domains
+
+let find t id =
+  List.find_opt (fun d -> Domain_id.equal (Pdomain.id d) id) t.domains
+
+let recover t d =
+  match Pdomain.state d with
+  | Destroyed -> Error "cannot recover a destroyed domain"
+  | Running | Failed _ ->
+    (match Pdomain.state d with
+    | Failed msg ->
+      Log.warn (fun m -> m "recovering %a after panic: %s" Domain_id.pp (Pdomain.id d) msg)
+    | Running | Destroyed ->
+      Log.info (fun m -> m "proactive recovery of %a" Domain_id.pp (Pdomain.id d)));
+    (* 1. Clear the reference table: every outstanding rref is revoked. *)
+    let revoked = Ref_table.clear (Pdomain.table d) in
+    t.slots_revoked <- t.slots_revoked + revoked;
+    (* 2. Release all memory the domain owned. *)
+    let freed = Heap.free_all_owned_by t.heap (Pdomain.id d) in
+    Log.debug (fun m ->
+        m "%a: revoked %d slot(s), freed %d allocation(s)" Domain_id.pp (Pdomain.id d) revoked
+          freed);
+    (* 3. Fresh descriptor state (the "create a new one" of §3: same
+       identity, new generation). *)
+    Cycles.Clock.charge t.clock Alloc;
+    Cycles.Clock.touch t.clock (Pdomain.state_addr d) ~bytes:64;
+    Pdomain.reset_after_recovery d;
+    t.recoveries <- t.recoveries + 1;
+    (* 4. User-provided re-initialisation, inside the fresh domain. *)
+    (match Pdomain.recovery d with
+    | None -> Ok ()
+    | Some init ->
+      (match Pdomain.execute d (fun () -> init d) with
+      | Ok () -> Ok ()
+      | Error e -> Error (Sfi_error.to_string e)))
+
+let destroy t d =
+  match Pdomain.state d with
+  | Destroyed -> ()
+  | Running | Failed _ ->
+    ignore (Ref_table.clear (Pdomain.table d));
+    ignore (Heap.free_all_owned_by t.heap (Pdomain.id d));
+    Pdomain.mark_destroyed d;
+    t.domains_destroyed <- t.domains_destroyed + 1;
+    Log.info (fun m -> m "destroyed domain %a" Domain_id.pp (Pdomain.id d))
+
+let cpu_report t =
+  List.map (fun d -> (d, Pdomain.cycles_consumed d, Pdomain.entry_count d)) t.domains
+  |> List.sort (fun (_, a, _) (_, b, _) -> Int64.compare b a)
+
+let stats t =
+  {
+    domains_created = t.domains_created;
+    domains_destroyed = t.domains_destroyed;
+    recoveries = t.recoveries;
+    slots_revoked_by_recovery = t.slots_revoked;
+  }

@@ -1,0 +1,64 @@
+(** The domain manager — the SFI "management plane" of §3.
+
+    Owns the experiment-wide virtual clock and shared heap, tracks
+    every protection domain, and implements the fault-recovery
+    sequence: after a panic has been caught at the domain boundary
+    (stack already unwound, caller already got its error code),
+    {!recover} (1) clears the failed domain's reference table, which
+    atomically revokes every outstanding rref and (2) releases all heap
+    memory the domain owned, then (3) re-initialises the domain from
+    clean state by running its user-provided recovery function — which
+    typically re-populates the table, "making the failure transparent
+    to clients of the domain". *)
+
+type t
+
+val create :
+  ?clock:Cycles.Clock.t ->
+  ?model:Cycles.Cost_model.t ->
+  ?cache_config:Cycles.Cache.config ->
+  unit ->
+  t
+(** [clock] lets the manager share an experiment-wide clock (so SFI
+    costs and workload costs land in the same cache hierarchy — every
+    pipeline experiment needs this). When absent, a fresh clock is
+    created from [model] / [cache_config]; passing [clock] together
+    with either of those is rejected. *)
+
+val clock : t -> Cycles.Clock.t
+val heap : t -> Heap.t
+
+val create_domain :
+  t ->
+  name:string ->
+  ?policy:Policy.t ->
+  ?recovery:(Pdomain.t -> unit) ->
+  unit ->
+  Pdomain.t
+
+val domains : t -> Pdomain.t list
+val find : t -> Domain_id.t -> Pdomain.t option
+
+val recover : t -> Pdomain.t -> (unit, string) result
+(** Recover a [Failed] domain (also accepts a [Running] domain, for
+    proactive recycling). Returns [Error _] if the domain is destroyed
+    or its recovery function itself panics — in which case the domain
+    stays [Failed]. *)
+
+val destroy : t -> Pdomain.t -> unit
+(** Clear the table, free the heap, and mark the domain [Destroyed].
+    Idempotent. *)
+
+type stats = {
+  domains_created : int;
+  domains_destroyed : int;
+  recoveries : int;
+  slots_revoked_by_recovery : int;
+}
+
+val stats : t -> stats
+
+val cpu_report : t -> (Pdomain.t * int64 * int) list
+(** Per-domain CPU accounting: (domain, cycles consumed inside it,
+    completed entries), sorted by cycles descending — what a real
+    manager would expose for billing/scheduling decisions. *)

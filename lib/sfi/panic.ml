@@ -1,0 +1,16 @@
+exception Panic of string
+
+let panic msg = raise (Panic msg)
+let panicf fmt = Format.kasprintf panic fmt
+
+let catch_unwind f =
+  try Ok (f ()) with
+  | Panic msg -> Error msg
+  | Invalid_argument msg -> Error (Printf.sprintf "bounds check / invalid argument: %s" msg)
+  | Assert_failure (file, line, _) ->
+    Error (Printf.sprintf "assertion violation at %s:%d" file line)
+
+let () =
+  Printexc.register_printer (function
+    | Panic msg -> Some (Printf.sprintf "Panic(%s)" msg)
+    | _ -> None)

@@ -1,0 +1,18 @@
+(** Panics and stack unwinding.
+
+    Models Rust's [panic!] / [catch_unwind] pair that the recovery path
+    of §3 relies on: "we first unwind the stack of the calling thread to
+    the domain entry point and return an error code to the caller".
+
+    {!catch_unwind} converts a panic — and the runtime failures the
+    paper lists as panic sources, bounds checks ([Invalid_argument]) and
+    assertion violations ([Assert_failure]) — into [Error msg]. Any
+    other exception propagates: it is not a panic, and swallowing it
+    would hide harness bugs. *)
+
+exception Panic of string
+
+val panic : string -> 'a
+val panicf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val catch_unwind : (unit -> 'a) -> ('a, string) result

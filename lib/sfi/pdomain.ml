@@ -1,0 +1,94 @@
+type state =
+  | Running
+  | Failed of string
+  | Destroyed
+
+type t = {
+  id : Domain_id.t;
+  name : string;
+  clock : Cycles.Clock.t;
+  heap : Heap.t;
+  table : Ref_table.t;
+  state_addr : int64;
+  mutable state : state;
+  mutable policy : Policy.t;
+  mutable recovery : (t -> unit) option;
+  mutable generation : int;
+  mutable panic_count : int;
+  mutable cycles_consumed : int64;
+  mutable entry_count : int;
+}
+
+let create ~clock ~heap ~name ?(policy = Policy.allow_all) ?recovery () =
+  let id = Domain_id.fresh () in
+  {
+    id;
+    name;
+    clock;
+    heap;
+    table = Ref_table.create ~clock ~owner:id;
+    state_addr = Cycles.Clock.alloc_addr clock ~bytes:64;
+    state = Running;
+    policy;
+    recovery;
+    generation = 0;
+    panic_count = 0;
+    cycles_consumed = 0L;
+    entry_count = 0;
+  }
+
+let id t = t.id
+let name t = t.name
+let state t = t.state
+let policy t = t.policy
+let set_policy t p = t.policy <- p
+let table t = t.table
+let clock t = t.clock
+let heap t = t.heap
+let recovery t = t.recovery
+let set_recovery t r = t.recovery <- r
+let state_addr t = t.state_addr
+let generation t = t.generation
+let panic_count t = t.panic_count
+let cycles_consumed t = t.cycles_consumed
+let entry_count t = t.entry_count
+
+let execute t f =
+  match t.state with
+  | Failed _ | Destroyed -> Error Sfi_error.Domain_unavailable
+  | Running ->
+    (* Entry: read + update the thread-local current-domain slot and the
+       domain descriptor. *)
+    Cycles.Clock.charge t.clock Tls_lookup;
+    Cycles.Clock.touch t.clock t.state_addr ~bytes:8;
+    Cycles.Clock.charge t.clock Call;
+    let entered_at = Cycles.Clock.now t.clock in
+    let result = Tls.with_current t.id (fun () -> Panic.catch_unwind f) in
+    t.cycles_consumed <-
+      Int64.add t.cycles_consumed (Int64.sub (Cycles.Clock.now t.clock) entered_at);
+    t.entry_count <- t.entry_count + 1;
+    (* Exit: restore the thread-local slot. *)
+    Cycles.Clock.charge t.clock Tls_lookup;
+    (match result with
+    | Ok v -> Ok v
+    | Error msg ->
+      (* Unwinding the stack back to the domain entry point. *)
+      Cycles.Clock.charge t.clock Unwind;
+      t.state <- Failed msg;
+      t.panic_count <- t.panic_count + 1;
+      Error (Sfi_error.Domain_failed msg))
+
+let alloc t ~bytes =
+  match t.state with
+  | Running -> Heap.alloc t.heap ~owner:t.id ~bytes
+  | Failed _ | Destroyed -> invalid_arg "Pdomain.alloc: domain unavailable"
+
+let mark_failed t msg =
+  t.state <- Failed msg;
+  t.panic_count <- t.panic_count + 1
+
+let mark_destroyed t = t.state <- Destroyed
+
+let reset_after_recovery t =
+  t.state <- Running;
+  t.generation <- t.generation + 1

@@ -1,0 +1,75 @@
+(** Protection domains.
+
+    A PD bundles an identity, a reference table, an access policy, a
+    heap-ownership account and a fault state. Code "runs inside" a
+    domain when the thread-local current-domain slot ({!Tls}) names it;
+    {!execute} is the only entry point, and it converts escaping panics
+    into [Error (Domain_failed _)] after unwinding — never letting them
+    cross the isolation boundary.
+
+    A failed domain refuses further entries until {!Manager.recover}
+    has cleared its table, released its heap and re-run its recovery
+    function. *)
+
+type state =
+  | Running
+  | Failed of string  (** A panic escaped; payload is the panic message. *)
+  | Destroyed
+
+type t
+
+val create :
+  clock:Cycles.Clock.t ->
+  heap:Heap.t ->
+  name:string ->
+  ?policy:Policy.t ->
+  ?recovery:(t -> unit) ->
+  unit ->
+  t
+(** Normally called via {!Manager.create_domain}. [recovery] is the
+    "user-provided recovery function to re-initialize the domain from
+    clean state"; it runs inside the fresh domain. *)
+
+val id : t -> Domain_id.t
+val name : t -> string
+val state : t -> state
+val policy : t -> Policy.t
+val set_policy : t -> Policy.t -> unit
+val table : t -> Ref_table.t
+val clock : t -> Cycles.Clock.t
+val heap : t -> Heap.t
+val recovery : t -> (t -> unit) option
+val set_recovery : t -> (t -> unit) option -> unit
+
+val state_addr : t -> int64
+(** Synthetic address of the domain descriptor; invokers touch it for
+    the availability check. *)
+
+val generation : t -> int
+(** Starts at 0, bumped by each recovery. *)
+
+val panic_count : t -> int
+(** Total panics caught at this domain's boundary (across recoveries). *)
+
+val cycles_consumed : t -> int64
+(** Virtual cycles spent executing inside this domain (attributed by
+    {!execute}), across recoveries — the management plane's per-domain
+    CPU accounting. *)
+
+val entry_count : t -> int
+(** Completed {!execute} calls (including failed ones). *)
+
+val execute : t -> (unit -> 'a) -> ('a, Sfi_error.t) result
+(** Enter the domain and run a thunk: checks availability, switches the
+    thread-local current domain, charges entry/exit costs, and catches
+    panics (marking the domain [Failed]). This is [Domain::execute] of
+    the §3 listing. *)
+
+val alloc : t -> bytes:int -> Heap.allocation
+(** Allocate from the shared heap, owned by this domain. *)
+
+(** {2 Used by the manager — not part of the client API} *)
+
+val mark_failed : t -> string -> unit
+val mark_destroyed : t -> unit
+val reset_after_recovery : t -> unit

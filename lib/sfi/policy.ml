@@ -1,0 +1,26 @@
+type t = { name : string; allows : caller:Domain_id.t -> slot:int -> bool }
+
+let name t = t.name
+let allows t = t.allows
+
+let allow_all = { name = "allow-all"; allows = (fun ~caller:_ ~slot:_ -> true) }
+let deny_all = { name = "deny-all"; allows = (fun ~caller:_ ~slot:_ -> false) }
+
+let allow_callers ids =
+  {
+    name = "allow-callers";
+    allows =
+      (fun ~caller ~slot:_ ->
+        Domain_id.is_kernel caller || List.exists (Domain_id.equal caller) ids);
+  }
+
+let deny_slots slots =
+  { name = "deny-slots"; allows = (fun ~caller:_ ~slot -> not (List.mem slot slots)) }
+
+let of_fun ~name allows = { name; allows }
+
+let conj a b =
+  {
+    name = Printf.sprintf "%s & %s" a.name b.name;
+    allows = (fun ~caller ~slot -> a.allows ~caller ~slot && b.allows ~caller ~slot);
+  }

@@ -1,0 +1,12 @@
+let key : Domain_id.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref Domain_id.kernel)
+
+let slot () = Domain.DLS.get key
+
+let current () = !(slot ())
+
+let with_current id f =
+  let cell = slot () in
+  let saved = !cell in
+  cell := id;
+  Fun.protect ~finally:(fun () -> cell := saved) f

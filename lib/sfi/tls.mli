@@ -1,0 +1,17 @@
+(** Thread-local current protection domain.
+
+    §3: "we use thread-local store [7] to store ID of the current
+    protection domain". Implemented with OCaml 5 domain-local storage,
+    so the SFI layer works unchanged when pipelines run on multiple
+    OCaml domains.
+
+    The *cycle cost* of consulting this slot is charged by the caller
+    (see {!Rref}); this module is pure bookkeeping. *)
+
+val current : unit -> Domain_id.t
+(** The protection domain the calling thread is executing in;
+    {!Domain_id.kernel} when outside any [with_current] scope. *)
+
+val with_current : Domain_id.t -> (unit -> 'a) -> 'a
+(** Run a thunk with the current domain switched; restores the previous
+    value on exit, including on exception. *)

@@ -1,0 +1,317 @@
+(* Tests for the cycle-cost substrate: PRNG, statistics, cache simulator,
+   virtual clock. *)
+
+open Cycles
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let xs = List.init 8 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 8 (fun _ -> Rng.next_int64 b) in
+  Alcotest.(check bool) "different seeds differ" false (xs = ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 9L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (x >= 0. && x < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5L in
+  let child = Rng.split parent in
+  let xs = List.init 16 (fun _ -> Rng.next_int64 child) in
+  let ys = List.init 16 (fun _ -> Rng.next_int64 parent) in
+  Alcotest.(check bool) "child differs from parent" false (xs = ys)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 11L in
+  let a = Array.init 100 Fun.id in
+  let original = Array.copy a in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same multiset" true (sorted = original);
+  Alcotest.(check bool) "actually shuffled" false (a = original)
+
+let test_rng_bool_balanced () =
+  let rng = Rng.create 13L in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly fair" true (!trues > 4_500 && !trues < 5_500)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.max s);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median s)
+
+let test_stats_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  (* Sample stddev of this classic data set is ~2.138. *)
+  Alcotest.(check (float 1e-2)) "stddev" 2.138 (Stats.stddev s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count 0" 0 (Stats.count s);
+  Alcotest.(check (float 0.)) "mean 0" 0. (Stats.mean s);
+  Alcotest.check_raises "percentile raises" (Invalid_argument "Stats.percentile: empty accumulator")
+    (fun () -> ignore (Stats.percentile s 50.))
+
+let test_stats_percentile_interleaved () =
+  (* Sorting must be re-done after adds that follow a percentile query. *)
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 5.; 1.; 3. ];
+  Alcotest.(check (float 1e-9)) "median of 3" 3. (Stats.median s);
+  List.iter (Stats.add s) [ 0.; 10. ];
+  Alcotest.(check (float 1e-9)) "median of 5" 3. (Stats.median s);
+  Alcotest.(check (float 1e-9)) "p100 = max" 10. (Stats.percentile s 100.)
+
+let test_stats_single () =
+  let s = Stats.create () in
+  Stats.add s 42.;
+  Alcotest.(check (float 1e-9)) "p50 singleton" 42. (Stats.median s);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0. (Stats.stddev s)
+
+let prop_stats_mean =
+  QCheck.Test.make ~name:"stats mean matches list mean" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let expected = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      abs_float (Stats.mean s -. expected) < 1e-6 *. (1. +. abs_float expected))
+
+let prop_stats_percentile_bounds =
+  QCheck.Test.make ~name:"percentiles stay within [min,max]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 100) (float_range (-1e6) 1e6))
+        (float_range 0. 100.))
+    (fun (xs, p) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let v = Stats.percentile s p in
+      v >= Stats.min s && v <= Stats.max s)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_cold_then_hot () =
+  let c = Cache.create () in
+  Alcotest.(check string) "cold miss" "DRAM" (Cache.level_to_string (Cache.access c 0x10000L));
+  Alcotest.(check string) "now hot" "L1" (Cache.level_to_string (Cache.access c 0x10000L));
+  (* Same line, different byte. *)
+  Alcotest.(check string) "same line hot" "L1" (Cache.level_to_string (Cache.access c 0x10030L))
+
+let test_cache_l1_eviction_falls_to_l2 () =
+  let c = Cache.create () in
+  let cfg = Cache.default_config in
+  let line = Int64.of_int cfg.line_bytes in
+  (* Touch one target line, then blow L1 (same set) with conflicting lines. *)
+  let target = 0x100000L in
+  ignore (Cache.access c target);
+  (* Lines mapping to the same L1 set are spaced by sets*line bytes. *)
+  let stride = Int64.mul (Int64.of_int cfg.l1_sets) line in
+  for i = 1 to cfg.l1_ways + 2 do
+    ignore (Cache.access c (Int64.add target (Int64.mul stride (Int64.of_int i))))
+  done;
+  (* The target was evicted from L1 but (with many more L2 sets) still
+     lives in L2. *)
+  Alcotest.(check string) "fell to L2" "L2" (Cache.level_to_string (Cache.access c target))
+
+let test_cache_flush () =
+  let c = Cache.create () in
+  ignore (Cache.access c 0x42000L);
+  Cache.flush c;
+  Alcotest.(check string) "flushed" "DRAM" (Cache.level_to_string (Cache.access c 0x42000L))
+
+let test_cache_counters () =
+  let c = Cache.create () in
+  ignore (Cache.access c 0x1000L);
+  ignore (Cache.access c 0x1000L);
+  ignore (Cache.access c 0x2000L);
+  let k = Cache.counters c in
+  Alcotest.(check int) "dram" 2 k.dram_accesses;
+  Alcotest.(check int) "l1" 1 k.l1_hits;
+  Cache.reset_counters c;
+  let k = Cache.counters c in
+  Alcotest.(check int) "reset" 0 (k.l1_hits + k.l2_hits + k.l3_hits + k.dram_accesses)
+
+let test_cache_access_range_lines () =
+  let c = Cache.create () in
+  (* 200 bytes starting mid-line spans 4 lines of 64B. *)
+  let levels = Cache.access_range c 0x1020L 200 in
+  Alcotest.(check int) "line count" 4 (List.length levels);
+  (* Zero / negative byte counts touch nothing. *)
+  Alcotest.(check int) "empty range" 0 (List.length (Cache.access_range c 0x1000L 0))
+
+let test_cache_working_set_hit_rates () =
+  (* A working set that fits L1 should yield pure L1 hits on the second
+     pass; one that exceeds L1 but fits L2 should show L2 hits. *)
+  let pass c base n =
+    for i = 0 to n - 1 do
+      ignore (Cache.access c (Int64.add base (Int64.of_int (i * 64))))
+    done
+  in
+  (* 16 KiB = 256 lines: fits 32 KiB L1. *)
+  let c = Cache.create () in
+  pass c 0x100000L 256;
+  Cache.reset_counters c;
+  pass c 0x100000L 256;
+  let k = Cache.counters c in
+  Alcotest.(check int) "all L1" 256 k.l1_hits;
+  (* 128 KiB = 2048 lines: exceeds L1, fits 256 KiB L2. *)
+  let c = Cache.create () in
+  pass c 0x100000L 2048;
+  Cache.reset_counters c;
+  pass c 0x100000L 2048;
+  let k = Cache.counters c in
+  Alcotest.(check int) "no DRAM on second pass" 0 k.dram_accesses;
+  Alcotest.(check bool) "mostly L2" true (k.l2_hits > 1024)
+
+let prop_cache_deterministic =
+  QCheck.Test.make ~name:"cache is deterministic" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 1_000_000))
+    (fun addrs ->
+      let run () =
+        let c = Cache.create () in
+        List.map (fun a -> Cache.access c (Int64.of_int a)) addrs
+      in
+      run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_charges () =
+  let clk = Clock.create () in
+  let m = Clock.model clk in
+  Clock.charge clk (Alu 3);
+  Alcotest.(check int64) "alu*3" (Int64.of_int (3 * m.alu)) (Clock.now clk);
+  Clock.charge clk Atomic_rmw;
+  Alcotest.(check int64) "plus atomic"
+    (Int64.of_int ((3 * m.alu) + m.atomic_rmw))
+    (Clock.now clk)
+
+let test_clock_fixed_and_copy () =
+  let clk = Clock.create () in
+  Clock.charge clk (Fixed 123);
+  Alcotest.(check int64) "fixed" 123L (Clock.now clk);
+  let before = Clock.now clk in
+  Clock.charge clk (Copy 1000);
+  let copied = Int64.sub (Clock.now clk) before in
+  let m = Clock.model clk in
+  Alcotest.(check int64) "copy cost"
+    (Int64.of_int (int_of_float (ceil (1000. *. m.per_byte_copy))))
+    copied
+
+let test_clock_touch_latencies () =
+  let clk = Clock.create () in
+  let m = Clock.model clk in
+  let addr = Clock.alloc_addr clk ~bytes:64 in
+  let before = Clock.now clk in
+  Clock.touch clk addr ~bytes:8;
+  Alcotest.(check int64) "cold = DRAM"
+    (Int64.of_int m.dram_latency)
+    (Int64.sub (Clock.now clk) before);
+  let before = Clock.now clk in
+  Clock.touch clk addr ~bytes:8;
+  Alcotest.(check int64) "hot = L1"
+    (Int64.of_int m.l1_latency)
+    (Int64.sub (Clock.now clk) before)
+
+let test_clock_alloc_addr_unique_aligned () =
+  let clk = Clock.create () in
+  let a = Clock.alloc_addr clk ~bytes:10 in
+  let b = Clock.alloc_addr clk ~bytes:100 in
+  let c = Clock.alloc_addr clk ~bytes:1 in
+  Alcotest.(check bool) "aligned" true
+    (Int64.rem a 64L = 0L && Int64.rem b 64L = 0L && Int64.rem c 64L = 0L);
+  Alcotest.(check bool) "non-overlapping" true
+    (Int64.sub b a >= 64L && Int64.sub c b >= 128L)
+
+let test_clock_measure () =
+  let clk = Clock.create () in
+  let result, cycles = Clock.measure clk (fun () -> Clock.charge clk (Fixed 77); "ok") in
+  Alcotest.(check string) "result" "ok" result;
+  Alcotest.(check int64) "cycles" 77L cycles
+
+let test_clock_touch_level_reports () =
+  let clk = Clock.create () in
+  let addr = Clock.alloc_addr clk ~bytes:64 in
+  (* alloc_addr does not touch; first access is DRAM. *)
+  Alcotest.(check string) "cold" "DRAM" (Cache.level_to_string (Clock.touch_level clk addr));
+  Alcotest.(check string) "hot" "L1" (Cache.level_to_string (Clock.touch_level clk addr))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cycles"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "percentile interleaved" `Quick test_stats_percentile_interleaved;
+          Alcotest.test_case "single sample" `Quick test_stats_single;
+          qt prop_stats_mean;
+          qt prop_stats_percentile_bounds;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cold then hot" `Quick test_cache_cold_then_hot;
+          Alcotest.test_case "L1 eviction falls to L2" `Quick test_cache_l1_eviction_falls_to_l2;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+          Alcotest.test_case "counters" `Quick test_cache_counters;
+          Alcotest.test_case "access_range lines" `Quick test_cache_access_range_lines;
+          Alcotest.test_case "working-set hit rates" `Quick test_cache_working_set_hit_rates;
+          qt prop_cache_deterministic;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "charges" `Quick test_clock_charges;
+          Alcotest.test_case "fixed and copy" `Quick test_clock_fixed_and_copy;
+          Alcotest.test_case "touch latencies" `Quick test_clock_touch_latencies;
+          Alcotest.test_case "alloc_addr unique+aligned" `Quick test_clock_alloc_addr_unique_aligned;
+          Alcotest.test_case "measure" `Quick test_clock_measure;
+          Alcotest.test_case "touch_level reports" `Quick test_clock_touch_level_reports;
+        ] );
+    ]

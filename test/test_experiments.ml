@@ -1,0 +1,282 @@
+(* Integration tests over the experiment harness: each test asserts the
+   *shape* DESIGN.md §4 promises for the corresponding paper artefact
+   (who wins, by roughly what factor, where crossovers fall). These are
+   the repository's acceptance tests. *)
+
+open Experiments
+
+let test_fig2_shape () =
+  let rows = Fig2.run ~batches:[ 1; 32; 256 ] ~warmup:10 ~trials:30 () in
+  match rows with
+  | [ b1; b32; b256 ] ->
+    (* ~90 cycles per protected call at batch 1. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "batch-1 overhead %.0f in [60,130]" b1.Fig2.overhead_per_call)
+      true
+      (b1.Fig2.overhead_per_call >= 60. && b1.Fig2.overhead_per_call <= 130.);
+    (* Overhead grows with batch size (cache pressure), mildly. *)
+    Alcotest.(check bool) "grows with batch" true
+      (b256.Fig2.overhead_per_call >= b1.Fig2.overhead_per_call);
+    Alcotest.(check bool) "grows < 2x" true
+      (b256.Fig2.overhead_per_call <= 2. *. b1.Fig2.overhead_per_call);
+    (* "Roughly the cost of 2 or 3 L3 cache accesses". *)
+    Alcotest.(check bool)
+      (Printf.sprintf "%.2f L3 equivalents in [1.5, 3.5]" b1.Fig2.l3_equivalents)
+      true
+      (b1.Fig2.l3_equivalents >= 1.5 && b1.Fig2.l3_equivalents <= 3.5);
+    (* Negligible vs Maglev for large batches; not negligible at 1. *)
+    Alcotest.(check bool) "under 1% at 256" true (b256.Fig2.overhead_vs_maglev < 0.01);
+    Alcotest.(check bool) "under 2% at 32" true (b32.Fig2.overhead_vs_maglev < 0.02);
+    Alcotest.(check bool) "material at batch 1" true (b1.Fig2.overhead_vs_maglev > 0.05);
+    (* Maglev batch cost grows with batch size. *)
+    Alcotest.(check bool) "maglev cost grows" true
+      (b256.Fig2.maglev_cycles > 10. *. b1.Fig2.maglev_cycles)
+  | _ -> Alcotest.fail "expected 3 rows"
+
+let test_pipeline_length_independence () =
+  let rows = Pipeline_length.run ~lengths:[ 1; 4; 16 ] ~trials:30 () in
+  Alcotest.(check int) "3 rows" 3 (List.length rows);
+  let dev = Pipeline_length.max_deviation rows in
+  Alcotest.(check bool) (Printf.sprintf "deviation %.3f < 0.10" dev) true (dev < 0.10)
+
+let test_recovery_shape () =
+  let r = Recovery.run ~trials:100 () in
+  (* Same order of magnitude as the paper's 4389 cycles. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "total %.0f in [2000, 9000]" r.Recovery.total_mean)
+    true
+    (r.Recovery.total_mean >= 2000. && r.Recovery.total_mean <= 9000.);
+  (* Unwinding dominates the recover step. *)
+  Alcotest.(check bool) "catch >> recover" true
+    (Cycles.Stats.mean r.Recovery.catch_cycles > Cycles.Stats.mean r.Recovery.recover_cycles)
+
+let test_sfi_baselines_shape () =
+  match Sfi_baselines.run ~trials:30 () with
+  | [ direct; isolated; copying; tagged ] ->
+    Alcotest.(check (float 0.)) "direct is the baseline" 0. direct.Sfi_baselines.overhead_vs_direct;
+    (* Linear SFI: negligible overhead. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "linear SFI %.1f%% < 10%%" (100. *. isolated.Sfi_baselines.overhead_vs_direct))
+      true
+      (isolated.Sfi_baselines.overhead_vs_direct < 0.10);
+    (* Copying: unacceptable at line rate. *)
+    Alcotest.(check bool) "copying > 50%" true (copying.Sfi_baselines.overhead_vs_direct > 0.5);
+    (* Tagged heap: the paper's "over 100%". *)
+    Alcotest.(check bool)
+      (Printf.sprintf "tagged %.0f%% > 100%%" (100. *. tagged.Sfi_baselines.overhead_vs_direct))
+      true
+      (tagged.Sfi_baselines.overhead_vs_direct > 1.0);
+    (* Ordering: ours beats both traditional architectures comfortably. *)
+    Alcotest.(check bool) "isolated cheapest protection" true
+      (isolated.Sfi_baselines.cycles_per_batch < copying.Sfi_baselines.cycles_per_batch
+      && isolated.Sfi_baselines.cycles_per_batch < tagged.Sfi_baselines.cycles_per_batch)
+  | _ -> Alcotest.fail "expected 4 rows"
+
+let find_row rows ~program ~strategy =
+  List.find_opt
+    (fun r ->
+      String.equal r.Ifc_matrix.program program
+      && String.equal r.Ifc_matrix.strategy strategy)
+    rows
+
+let test_ifc_matrix_shape () =
+  let rows = Ifc_matrix.run () in
+  (* Every analysis is sound except the naive no-alias baseline. *)
+  List.iter
+    (fun r ->
+      let expect_sound = not (String.equal r.Ifc_matrix.strategy "naive-no-alias") in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s soundness" r.Ifc_matrix.program r.Ifc_matrix.strategy)
+        expect_sound r.Ifc_matrix.sound)
+    rows;
+  (* The paper's specific cells. *)
+  (match find_row rows ~program:"buffer, direct leak" ~strategy:"exact-ownership" with
+  | Some r -> Alcotest.(check (list int)) "line 16 flagged" [ 16 ] r.Ifc_matrix.flow_findings
+  | None -> Alcotest.fail "missing row");
+  (match find_row rows ~program:"buffer, alias exploit" ~strategy:"exact-ownership" with
+  | Some r ->
+    Alcotest.(check (list int)) "ownership error at 17" [ 17 ] r.Ifc_matrix.ownership_errors
+  | None -> Alcotest.fail "missing row");
+  (match find_row rows ~program:"buffer, alias exploit" ~strategy:"naive-no-alias" with
+  | Some r ->
+    Alcotest.(check string) "false negative" "VERIFIED" r.Ifc_matrix.verdict;
+    Alcotest.(check string) "yet it leaks" "leaks" r.Ifc_matrix.dynamic
+  | None -> Alcotest.fail "missing row");
+  match find_row rows ~program:"buffer, alias exploit" ~strategy:"andersen-points-to" with
+  | Some r -> Alcotest.(check (list int)) "andersen flags 17" [ 17 ] r.Ifc_matrix.flow_findings
+  | None -> Alcotest.fail "missing row"
+
+let test_ifc_store_shape () =
+  let r = Ifc_store.run ~clients:5 () in
+  List.iter
+    (fun s ->
+      let expected = if String.equal s.Ifc_store.variant "clean" then "VERIFIED" else "REJECTED" in
+      Alcotest.(check string)
+        (Printf.sprintf "%s/%s verdict" s.Ifc_store.variant s.Ifc_store.strategy)
+        expected s.Ifc_store.verdict;
+      match s.Ifc_store.expected_line with
+      | Some l ->
+        Alcotest.(check (list int)) "finding at exactly the seeded line" [ l ]
+          s.Ifc_store.finding_lines;
+        Alcotest.(check int) "bug is real (dynamic leak)" 1 s.Ifc_store.dynamic_leaks
+      | None -> Alcotest.(check int) "clean has no dynamic leaks" 0 s.Ifc_store.dynamic_leaks)
+    r.Ifc_store.store;
+  match r.Ifc_store.copies with
+  | [ rust; sectype ] ->
+    Alcotest.(check bool) "rust version accepted" true rust.Ifc_store.accepted;
+    Alcotest.(check int) "rust version copies nothing" 0 rust.Ifc_store.runtime_copies;
+    Alcotest.(check bool) "sectype version accepted after repair" true sectype.Ifc_store.accepted;
+    Alcotest.(check bool) "sectype pays copies" true (sectype.Ifc_store.runtime_copies > 0)
+  | _ -> Alcotest.fail "expected 2 copy rows"
+
+let test_ifc_scaling_shape () =
+  let rows = Ifc_scaling.run ~client_counts:[ 4; 16 ] () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "clients=%d all verified" r.Ifc_scaling.clients)
+        true r.Ifc_scaling.all_verified;
+      Alcotest.(check bool) "summaries cheaper than inlining" true
+        (r.Ifc_scaling.compositional_transfers < r.Ifc_scaling.exact_transfers);
+      Alcotest.(check bool) "alias analysis is the most expensive" true
+        (r.Ifc_scaling.andersen_transfers > r.Ifc_scaling.exact_transfers))
+    rows;
+  (* Compositional advantage widens with program size. *)
+  match rows with
+  | [ small; large ] ->
+    let ratio r =
+      float_of_int r.Ifc_scaling.exact_transfers
+      /. float_of_int r.Ifc_scaling.compositional_transfers
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "advantage grows (%.2f -> %.2f)" (ratio small) (ratio large))
+      true
+      (ratio large >= ratio small)
+  | _ -> Alcotest.fail "expected 2 rows"
+
+let test_fig3_shape () =
+  match Fig3.run () with
+  | [ naive; addr; flag ] ->
+    (* Figure 3b: naive duplicates the shared rule and loses sharing. *)
+    Alcotest.(check int) "naive: one copy per leaf" 3 naive.Fig3.copies;
+    Alcotest.(check bool) "naive loses sharing" false naive.Fig3.sharing_preserved;
+    Alcotest.(check int) "naive copy has phantom rules" 3 naive.Fig3.rules_in_copy;
+    (* Both sound strategies copy each rule once. *)
+    Alcotest.(check int) "addr-set: 2 copies" 2 addr.Fig3.copies;
+    Alcotest.(check int) "rc-flag: 2 copies" 2 flag.Fig3.copies;
+    Alcotest.(check bool) "both preserve sharing" true
+      (addr.Fig3.sharing_preserved && flag.Fig3.sharing_preserved);
+    (* Only the conventional one pays hash lookups. *)
+    Alcotest.(check int) "addr-set pays lookups" 3 addr.Fig3.hash_lookups;
+    Alcotest.(check int) "rc-flag pays none" 0 flag.Fig3.hash_lookups
+  | _ -> Alcotest.fail "expected 3 rows"
+
+let test_ckpt_cost_shape () =
+  let rows = Ckpt_cost.run ~sizes:[ (100, 2); (100, 4) ] () in
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "dedup copies = rules" r.Ckpt_cost.rules r.Ckpt_cost.dedup_copies;
+      Alcotest.(check int) "naive copies = leaves" r.Ckpt_cost.leaves r.Ckpt_cost.naive_copies;
+      Alcotest.(check (float 1e-9)) "overcopy = alias factor"
+        (float_of_int r.Ckpt_cost.alias_factor)
+        r.Ckpt_cost.naive_overcopy;
+      Alcotest.(check int) "addr-set lookups = leaves" r.Ckpt_cost.leaves
+        r.Ckpt_cost.addr_set_lookups;
+      Alcotest.(check int) "rc-flag lookups = 0" 0 r.Ckpt_cost.rc_flag_lookups)
+    rows
+
+let test_availability_shape () =
+  let rows = Availability.run ~probabilities:[ 0.0; 0.02 ] ~batches:400 () in
+  match rows with
+  | [ clean; faulty ] ->
+    Alcotest.(check (float 0.)) "no faults -> 100%" 1.0 clean.Availability.availability;
+    Alcotest.(check bool) "clean run: direct survives" true clean.Availability.direct_survives;
+    Alcotest.(check bool) "faults occurred" true (faulty.Availability.faults > 0);
+    Alcotest.(check int) "every fault recovered" faulty.Availability.faults
+      faulty.Availability.recoveries;
+    Alcotest.(check bool) "availability degrades gracefully" true
+      (faulty.Availability.availability > 0.85);
+    Alcotest.(check bool) "loss = one batch per fault" true
+      (faulty.Availability.packets_lost = 32 * faulty.Availability.faults);
+    Alcotest.(check int) "zero leaks" 0 faulty.Availability.buffers_leaked;
+    Alcotest.(check bool) "direct pipeline dies" false faulty.Availability.direct_survives;
+    Alcotest.(check bool) "MTTR same order as E3" true
+      (faulty.Availability.mttr_cycles > 2000. && faulty.Availability.mttr_cycles < 12000.)
+  | _ -> Alcotest.fail "expected 2 rows"
+
+let test_rollback_shape () =
+  let rows = Rollback.run ~intervals:[ 1; 64 ] ~inputs:517 () in
+  match rows with
+  | [ tight; loose ] ->
+    Alcotest.(check bool) "every recovery exact" true
+      (tight.Rollback.recovered_exact && loose.Rollback.recovered_exact);
+    Alcotest.(check bool) "steady-state cost falls with interval" true
+      (loose.Rollback.ckpt_nodes_per_input < tight.Rollback.ckpt_nodes_per_input);
+    Alcotest.(check bool) "replay grows with interval" true
+      (loose.Rollback.replayed_on_crash > tight.Rollback.replayed_on_crash);
+    Alcotest.(check int) "interval 1 never replays" 0 tight.Rollback.replayed_on_crash
+  | _ -> Alcotest.fail "expected 2 rows"
+
+let test_multicore_shape () =
+  (* Wall-clock based; only structural claims are asserted (this host
+     may have a single core). *)
+  let rows = Multicore.run ~cores_list:[ 1 ] ~batches_per_core:300 () in
+  match rows with
+  | [ one ] ->
+    Alcotest.(check int) "one core row" 1 one.Multicore.cores;
+    Alcotest.(check bool) "positive throughput" true (one.Multicore.direct_batches_per_s > 0.);
+    Alcotest.(check (float 1e-9)) "self-scaling" 1.0 one.Multicore.scaling;
+    (* Wall-clock on a possibly loaded single-core host: only rule out
+       absurd values. *)
+    Alcotest.(check bool) "isolation cost sane" true
+      (one.Multicore.isolation_cost > -0.8 && one.Multicore.isolation_cost < 0.8)
+  | _ -> Alcotest.fail "expected 1 row"
+
+let test_ablations_shape () =
+  let r = Ablations.run ~trials:100 () in
+  (match r.Ablations.pin with
+  | [ full; pinned ] ->
+    Alcotest.(check bool) "pinning is cheaper" true
+      (pinned.Ablations.cycles_per_call < full.Ablations.cycles_per_call);
+    Alcotest.(check bool) "but not revocable" true
+      (full.Ablations.revocable && not pinned.Ablations.revocable)
+  | _ -> Alcotest.fail "expected 2 pin rows");
+  (* Zeroing any micro-cost can only reduce the overhead; the atomic
+     upgrade is the single largest contributor. *)
+  (match r.Ablations.attribution with
+  | full :: rest ->
+    List.iter
+      (fun a -> Alcotest.(check bool) ("zeroing reduces: " ^ a.Ablations.zeroed) true (a.Ablations.delta_vs_full >= 0.))
+      rest;
+    let atomic = List.find (fun a -> a.Ablations.zeroed = "atomic_rmw") rest in
+    List.iter
+      (fun a ->
+        Alcotest.(check bool) "atomic dominates" true
+          (atomic.Ablations.delta_vs_full >= a.Ablations.delta_vs_full))
+      rest;
+    ignore full
+  | [] -> Alcotest.fail "no attribution rows");
+  (* Recovery total is monotone in the unwind cost. *)
+  let totals = List.map (fun u -> u.Ablations.recovery_total) r.Ablations.unwind in
+  Alcotest.(check bool) "monotone in unwind" true (List.sort compare totals = totals)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "fig2 (E1/E10)" `Slow test_fig2_shape;
+          Alcotest.test_case "pipeline length (E2)" `Slow test_pipeline_length_independence;
+          Alcotest.test_case "recovery (E3)" `Slow test_recovery_shape;
+          Alcotest.test_case "sfi baselines (E4)" `Slow test_sfi_baselines_shape;
+          Alcotest.test_case "ifc matrix (E5)" `Quick test_ifc_matrix_shape;
+          Alcotest.test_case "ifc store (E6)" `Quick test_ifc_store_shape;
+          Alcotest.test_case "ifc scaling (E7)" `Quick test_ifc_scaling_shape;
+          Alcotest.test_case "fig3 (E8)" `Quick test_fig3_shape;
+          Alcotest.test_case "ckpt cost (E9)" `Quick test_ckpt_cost_shape;
+          Alcotest.test_case "availability (E11)" `Slow test_availability_shape;
+          Alcotest.test_case "rollback (E13)" `Quick test_rollback_shape;
+          Alcotest.test_case "multicore (E12)" `Slow test_multicore_shape;
+          Alcotest.test_case "ablations (A1-A3)" `Slow test_ablations_shape;
+        ] );
+    ]

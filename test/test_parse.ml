@@ -1,0 +1,252 @@
+(* Tests for the Mir concrete-syntax parser. *)
+
+open Ifc
+
+let parse_ok src =
+  match Parse.program src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "unexpected parse error: %s" (Parse.error_to_string e)
+
+(* Structural equality modulo statement line numbers. *)
+let rec strip_lines_stmt (s : Ast.stmt) =
+  let op : Ast.op =
+    match s.op with
+    | If { cond; then_; else_ } ->
+      If { cond; then_ = List.map strip_lines_stmt then_; else_ = List.map strip_lines_stmt else_ }
+    | While { cond; body } -> While { cond; body = List.map strip_lines_stmt body }
+    | ( Alloc _ | Const_write _ | Append _ | Move _ | Alias _ | Copy _ | Declassify _
+      | Output _ | Call _ | Assert_leq _ ) as op ->
+      op
+  in
+  { Ast.line = 0; op }
+
+let strip_lines (p : Ast.program) =
+  {
+    p with
+    main = List.map strip_lines_stmt p.main;
+    funcs = List.map (fun (f : Ast.func) -> { f with body = List.map strip_lines_stmt f.body }) p.funcs;
+  }
+
+let program_equal a b = strip_lines a = strip_lines b
+
+(* The paper's buffer exploit, as source text. *)
+let buffer_src =
+  {|# The HotOS'17 Buffer listing
+channel terminal bound public
+
+let buf = vec![] : public
+let nonsec = vec![] : public
+nonsec.push(1 : public)
+nonsec.push(2 : public)
+nonsec.push(3 : public)
+let sec = vec![] : {secret}
+sec.push(4 : {secret})
+sec.push(5 : {secret})
+sec.push(6 : {secret})
+let buf = move nonsec
+buf.append(copy sec)
+output buf -> terminal
+output nonsec -> terminal
+|}
+
+let test_parse_buffer_program () =
+  let p = parse_ok buffer_src in
+  Alcotest.(check int) "channels" 1 (List.length p.Ast.channels);
+  Alcotest.(check int) "statements" 13 (List.length p.Ast.main);
+  (match Ast.validate p with Ok () -> () | Error _ -> Alcotest.fail "must validate");
+  (* The parsed program behaves like the hand-built one: IFC error on
+     the buffer output, ownership error on the stale binding. *)
+  match Verifier.verify ~strategy:Verifier.Exact p with
+  | Ok r ->
+    Alcotest.(check bool) "rejected" true (r.Verifier.verdict = Verifier.Rejected);
+    Alcotest.(check bool) "flow finding on the buf output" true
+      (List.exists
+         (fun f -> match f.Abstract.what with Abstract.Leaky_output "terminal" -> true | _ -> false)
+         r.Verifier.findings);
+    Alcotest.(check bool) "ownership error on nonsec" true
+      (List.exists (fun v -> v.Ownership.var = "nonsec") r.Verifier.ownership_errors)
+  | Error e -> Alcotest.failf "verify: %s" e
+
+let test_parse_line_numbers_are_source_lines () =
+  let p = parse_ok buffer_src in
+  (* `output nonsec -> terminal` sits on source line 16 of buffer_src
+     (line 1 is the comment, line 3 is blank). *)
+  match Ownership.check p with
+  | Error [ v ] -> Alcotest.(check int) "diagnostic on the real source line" 16 v.Ownership.line
+  | _ -> Alcotest.fail "expected exactly the nonsec violation"
+
+let test_parse_functions_and_blocks () =
+  let src =
+    {|dialect safe
+channel log bound {audit}
+
+fn serve(auth, data) {
+  if auth {
+    output data -> log
+  } else {
+    data.push(0 : public)
+  }
+}
+
+let auth = vec![] : public
+auth.push(1 : public)
+let data = vec![] : {audit}
+while auth {
+  serve(&auth, &data)
+  declassify auth to public
+}
+|}
+  in
+  let p = parse_ok src in
+  (match Ast.validate p with
+  | Ok () -> ()
+  | Error es ->
+    Alcotest.failf "validate: %s"
+      (String.concat ";" (List.map (fun (e : Ast.validation_error) -> e.reason) es)));
+  Alcotest.(check int) "one function" 1 (List.length p.Ast.funcs);
+  let f = List.hd p.Ast.funcs in
+  Alcotest.(check (list string)) "params" [ "auth"; "data" ] f.Ast.params;
+  match f.Ast.body with
+  | [ { op = Ast.If { else_ = [ _ ]; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "if/else body shape"
+
+let test_parse_aliased_dialect () =
+  let src = {|dialect aliased
+let x = vec![] : public
+let y = &x
+|} in
+  let p = parse_ok src in
+  Alcotest.(check bool) "dialect" true (p.Ast.dialect = Ast.Aliased);
+  match Ast.validate p with Ok () -> () | Error _ -> Alcotest.fail "alias legal here"
+
+let test_parse_errors () =
+  let cases =
+    [
+      ("let x = ", "bad rhs");
+      ("x.push(notanint : public)", "bad int");
+      ("let x = vec![] : {bad label", "bad label");
+      ("if x {", "unterminated");
+      ("frobnicate x y", "unknown stmt");
+      ("output x", "missing arrow");
+      ("serve(plain_arg)", "bad call arg");
+    ]
+  in
+  List.iter
+    (fun (src, what) ->
+      match Parse.program src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s should not parse" what)
+    cases
+
+let test_parse_label_values () =
+  (match Parse.label "public" with
+  | Ok l -> Alcotest.(check bool) "public" true (Label.is_public l)
+  | Error m -> Alcotest.fail m);
+  (match Parse.label "{a, b}" with
+  | Ok l -> Alcotest.(check (list string)) "categories" [ "a"; "b" ] (Label.categories l)
+  | Error m -> Alcotest.fail m);
+  match Parse.label "nonsense{" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk label must be rejected"
+
+let test_roundtrip_examples () =
+  List.iter
+    (fun (name, p) ->
+      let src = Parse.to_source p in
+      match Parse.program src with
+      | Ok p' ->
+        if not (program_equal p p') then
+          Alcotest.failf "%s did not round-trip:\n%s" name src
+      | Error e -> Alcotest.failf "%s: reparse failed: %s\n%s" name (Parse.error_to_string e) src)
+    [
+      ("leak_safe", Examples.buffer_leak_safe);
+      ("exploit_safe", Examples.buffer_exploit_safe);
+      ("exploit_aliased", Examples.buffer_exploit_aliased);
+      ("benign_sectype", Examples.buffer_benign_sectype);
+      ("store", Examples.secure_store ~clients:4 ());
+      ("store_bug", Examples.secure_store ~bug:true ~clients:3 ());
+    ]
+
+let prop_roundtrip_random =
+  (* Random straight-line + nested programs round-trip through the
+     concrete syntax. *)
+  let gen =
+    QCheck.Gen.(
+      let var = map (Printf.sprintf "v%d") (int_range 0 4) in
+      let lbl = oneof [ return Ifc.Label.public; return Ifc.Label.secret; return (Ifc.Label.of_list [ "a"; "b" ]) ] in
+      let simple line =
+        frequency
+          [
+            (2, map2 (fun v l -> Ast.stmt line (Ast.Alloc { var = v; label = l })) var lbl);
+            (2, map3 (fun d v l -> Ast.stmt line (Ast.Const_write { dst = d; value = v; label = l })) var (int_range (-5) 99) lbl);
+            (2, map2 (fun d s -> Ast.stmt line (Ast.Append { dst = d; src = s })) var var);
+            (1, map2 (fun d s -> Ast.stmt line (Ast.Move { dst = d; src = s })) var var);
+            (1, map2 (fun d s -> Ast.stmt line (Ast.Copy { dst = d; src = s })) var var);
+            (1, map2 (fun v l -> Ast.stmt line (Ast.Declassify { var = v; label = l })) var lbl);
+            (1, map2 (fun v l -> Ast.stmt line (Ast.Assert_leq { var = v; label = l })) var lbl);
+          ]
+      in
+      let* n = int_range 1 12 in
+      let* stmts = flatten_l (List.init n (fun i -> simple (i + 1))) in
+      let* wrap = oneof [ return `None; map (fun c -> `If c) var; map (fun c -> `While c) var ] in
+      let main =
+        match wrap with
+        | `None -> stmts
+        | `If cond -> [ Ast.stmt 90 (Ast.If { cond; then_ = stmts; else_ = stmts }) ]
+        | `While cond -> [ Ast.stmt 90 (Ast.While { cond; body = stmts }) ]
+      in
+      return (Ast.program main))
+  in
+  QCheck.Test.make ~name:"random programs round-trip through concrete syntax" ~count:300
+    (QCheck.make gen) (fun p ->
+      match Parse.program (Parse.to_source p) with
+      | Ok p' -> program_equal p p'
+      | Error _ -> false)
+
+(* The shipped sample programs must keep their documented verdicts. *)
+let test_sample_programs () =
+  let dir = "../examples/programs" in
+  let read name = In_channel.with_open_text (Filename.concat dir name) In_channel.input_all in
+  let verdict name =
+    match Parse.program (read name) with
+    | Error e -> Alcotest.failf "%s: %s" name (Parse.error_to_string e)
+    | Ok p -> (
+      match Verifier.verify p with
+      | Error msg -> Alcotest.failf "%s: %s" name msg
+      | Ok r -> r.Verifier.verdict)
+  in
+  Alcotest.(check bool) "buffer_leak rejected" true (verdict "buffer_leak.mir" = Verifier.Rejected);
+  Alcotest.(check bool) "aliased exploit rejected" true
+    (verdict "buffer_exploit_aliased.mir" = Verifier.Rejected);
+  Alcotest.(check bool) "medical records verified" true
+    (verdict "medical_records.mir" = Verifier.Verified);
+  Alcotest.(check bool) "buggy medical records rejected" true
+    (verdict "medical_records_buggy.mir" = Verifier.Rejected);
+  (* The implicit-flow sample: statically rejected, dynamically clean —
+     the static/dynamic gap the paper's "must be performed statically"
+     argument is about. *)
+  Alcotest.(check bool) "implicit flow rejected statically" true
+    (verdict "implicit_flow.mir" = Verifier.Rejected);
+  (match Parse.program (read "implicit_flow.mir") with
+  | Ok p ->
+    let o = Interp.run p in
+    Alcotest.(check int) "but invisible dynamically" 0 (List.length o.Interp.leaks)
+  | Error _ -> Alcotest.fail "parse")
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "parse"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "buffer program" `Quick test_parse_buffer_program;
+          Alcotest.test_case "real source lines" `Quick test_parse_line_numbers_are_source_lines;
+          Alcotest.test_case "functions and blocks" `Quick test_parse_functions_and_blocks;
+          Alcotest.test_case "aliased dialect" `Quick test_parse_aliased_dialect;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "label values" `Quick test_parse_label_values;
+          Alcotest.test_case "examples round-trip" `Quick test_roundtrip_examples;
+          Alcotest.test_case "sample .mir programs" `Quick test_sample_programs;
+          qt prop_roundtrip_random;
+        ] );
+    ]
