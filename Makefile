@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick examples doc clean loc
+.PHONY: all build test bench bench-quick stats examples doc clean loc
 
 all: build test
 
@@ -16,6 +16,9 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+stats:
+	dune exec bin/repro.exe -- stats fig2 recovery rollback
 
 examples:
 	dune exec examples/quickstart.exe

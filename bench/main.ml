@@ -21,7 +21,12 @@ let find id = List.find_opt (fun e -> String.equal e.Experiments.Registry.id id)
 
 let run_one ~quick (e : Experiments.Registry.entry) =
   Printf.printf "==== %s: %s ====\n" e.id e.description;
+  (* Fresh global registry per experiment, so the snapshot printed
+     after each figure belongs to that figure alone. *)
+  Telemetry.Registry.reset Telemetry.Registry.global;
   e.run ~quick;
+  print_newline ();
+  Telemetry.Render.print ~title:(e.id ^ " telemetry") Telemetry.Registry.global;
   print_newline ()
 
 let () =

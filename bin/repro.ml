@@ -44,11 +44,68 @@ let run_cmd =
         (fun (e : Experiments.Registry.entry) ->
           Printf.printf "==== %s: %s ====\n" e.Experiments.Registry.id
             e.Experiments.Registry.description;
+          (* Each experiment gets a clean slate in the global registry,
+             so the table below is attributable to it alone. *)
+          Telemetry.Registry.reset Telemetry.Registry.global;
           e.Experiments.Registry.run ~quick;
+          print_newline ();
+          Telemetry.Render.print ~title:(e.Experiments.Registry.id ^ " telemetry")
+            Telemetry.Registry.global;
           print_newline ())
         entries
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick $ ids)
+
+let stats_cmd =
+  let doc =
+    "Run experiments quickly and print only their telemetry tables — the registry snapshot \
+     (counters, gauges, histogram quantiles) each experiment records."
+  in
+  let ids =
+    let doc = "Experiment ids (see $(b,repro list)); all when omitted." in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run ids =
+    let entries =
+      match ids with
+      | [] -> Ok Experiments.Registry.all
+      | ids ->
+        let missing = List.filter (fun id -> Experiments.Registry.find id = None) ids in
+        if missing <> [] then
+          Error (Printf.sprintf "unknown experiment(s): %s" (String.concat ", " missing))
+        else
+          Ok (List.filter_map Experiments.Registry.find ids)
+    in
+    match entries with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok entries ->
+      (* Run each experiment quickly with its own tables silenced —
+         only the telemetry snapshot is wanted here. *)
+      let silently f =
+        let devnull = open_out (if Sys.win32 then "NUL" else "/dev/null") in
+        let saved = Unix.dup Unix.stdout in
+        flush stdout;
+        Unix.dup2 (Unix.descr_of_out_channel devnull) Unix.stdout;
+        Fun.protect
+          ~finally:(fun () ->
+            flush stdout;
+            Unix.dup2 saved Unix.stdout;
+            Unix.close saved;
+            close_out devnull)
+          f
+      in
+      List.iter
+        (fun (e : Experiments.Registry.entry) ->
+          Telemetry.Registry.reset Telemetry.Registry.global;
+          silently (fun () -> e.Experiments.Registry.run ~quick:true);
+          Telemetry.Render.print ~title:(e.Experiments.Registry.id ^ " telemetry")
+            Telemetry.Registry.global;
+          print_newline ())
+        entries
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ ids)
 
 let verify_cmd =
   let doc =
@@ -120,4 +177,4 @@ let () =
     "Reproduce the evaluation of 'System Programming in Rust: Beyond Safety' (HotOS '17)"
   in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; verify_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd; verify_cmd ]))

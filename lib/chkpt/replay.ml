@@ -2,6 +2,7 @@ type ('state, 'input) t = {
   desc : 'state Checkpointable.t;
   apply : 'state -> 'input -> unit;
   interval : int;
+  tele : Tele.t option;
   mutable live : 'state;
   mutable snapshot : 'state;
   mutable log : 'input list;      (* newest first *)
@@ -16,15 +17,17 @@ let take_snapshot t =
   t.log <- [];
   t.since_snapshot <- 0;
   t.checkpoints_taken <- t.checkpoints_taken + 1;
+  Option.iter (fun tl -> Tele.record_snapshot tl stats) t.tele;
   stats
 
-let create ~desc ~apply ~interval state =
+let create ~desc ~apply ~interval ?telemetry state =
   if interval <= 0 then invalid_arg "Replay.create: interval must be positive";
   let t =
     {
       desc;
       apply;
       interval;
+      tele = Option.map Tele.v telemetry;
       live = state;
       snapshot = state (* replaced immediately below *);
       log = [];
@@ -52,11 +55,17 @@ let crash_and_recover t =
   (* The live state is gone; rebuild from the (preserved) snapshot. A
      copy is installed so the snapshot itself stays pristine for
      further crashes. *)
-  let fresh, _ = Checkpointable.checkpoint t.desc t.snapshot in
+  let fresh, stats = Checkpointable.checkpoint t.desc t.snapshot in
   t.live <- fresh;
   let inputs = List.rev t.log in
   List.iter (t.apply t.live) inputs;
-  { replayed = List.length inputs; checkpoint_age }
+  let replayed = List.length inputs in
+  Option.iter
+    (fun tl ->
+      Tele.record_rollback tl stats;
+      Tele.record_replayed tl replayed)
+    t.tele;
+  { replayed; checkpoint_age }
 
 let inputs_seen t = t.inputs_seen
 let checkpoints_taken t = t.checkpoints_taken

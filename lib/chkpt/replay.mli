@@ -20,10 +20,13 @@ val create :
   desc:'state Checkpointable.t ->
   apply:('state -> 'input -> unit) ->
   interval:int ->
+  ?telemetry:Telemetry.Registry.t ->
   'state ->
   ('state, 'input) t
 (** [interval] must be positive. A checkpoint of the initial state is
-    taken immediately (recovery is always possible). *)
+    taken immediately (recovery is always possible). [telemetry]
+    records checkpoints as [chkpt.snapshots], recoveries as
+    [chkpt.rollbacks], and replayed inputs as [chkpt.replayed]. *)
 
 val state : ('state, _) t -> 'state
 (** The live state. Mutate it only through {!feed}. *)

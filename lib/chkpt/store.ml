@@ -1,14 +1,16 @@
 type 'a t = {
   desc : 'a Checkpointable.t;
   strategy : Checkpointable.strategy;
+  tele : Tele.t option;
   mutable live : 'a;
   mutable stack : 'a list;
   mutable snapshots_taken : int;
   mutable rollbacks : int;
 }
 
-let create ?(strategy = Checkpointable.Rc_flag) desc live =
-  { desc; strategy; live; stack = []; snapshots_taken = 0; rollbacks = 0 }
+let create ?(strategy = Checkpointable.Rc_flag) ?telemetry desc live =
+  let tele = Option.map Tele.v telemetry in
+  { desc; strategy; tele; live; stack = []; snapshots_taken = 0; rollbacks = 0 }
 
 let get t = t.live
 let set t v = t.live <- v
@@ -17,6 +19,7 @@ let snapshot t =
   let copy, stats = Checkpointable.checkpoint ~strategy:t.strategy t.desc t.live in
   t.stack <- copy :: t.stack;
   t.snapshots_taken <- t.snapshots_taken + 1;
+  Option.iter (fun tl -> Tele.record_snapshot tl stats) t.tele;
   stats
 
 let rollback t =
@@ -26,6 +29,7 @@ let rollback t =
     let copy, stats = Checkpointable.checkpoint ~strategy:t.strategy t.desc snap in
     t.live <- copy;
     t.rollbacks <- t.rollbacks + 1;
+    Option.iter (fun tl -> Tele.record_rollback tl stats) t.tele;
     stats
 
 let commit t =

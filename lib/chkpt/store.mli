@@ -10,7 +10,14 @@
 
 type 'a t
 
-val create : ?strategy:Checkpointable.strategy -> 'a Checkpointable.t -> 'a -> 'a t
+val create :
+  ?strategy:Checkpointable.strategy ->
+  ?telemetry:Telemetry.Registry.t ->
+  'a Checkpointable.t ->
+  'a ->
+  'a t
+(** [telemetry] records every snapshot/rollback into the [chkpt.*]
+    counters (see {!Tele}). *)
 
 val get : 'a t -> 'a
 (** The live value. Mutate it freely through its own interface. *)

@@ -1,0 +1,43 @@
+(* Pre-resolved [chkpt.*] handles shared by Store and Replay. Each
+   descriptor node is a boxed word in the copy, so 8 bytes/node is the
+   natural first-order size estimate for a snapshot. *)
+
+let bytes_per_node = 8
+
+type t = {
+  tl_snapshots : Telemetry.Counter.t;
+  tl_rollbacks : Telemetry.Counter.t;
+  tl_nodes : Telemetry.Counter.t;
+  tl_rc_copies : Telemetry.Counter.t;
+  tl_dedup_hits : Telemetry.Counter.t;
+  tl_approx_bytes : Telemetry.Counter.t;
+  tl_replayed : Telemetry.Counter.t;
+}
+
+let v reg =
+  let scope = Telemetry.Scope.v reg "chkpt" in
+  {
+    tl_snapshots = Telemetry.Scope.counter scope "snapshots";
+    tl_rollbacks = Telemetry.Scope.counter scope "rollbacks";
+    tl_nodes = Telemetry.Scope.counter scope "nodes";
+    tl_rc_copies = Telemetry.Scope.counter scope "rc_copies";
+    tl_dedup_hits = Telemetry.Scope.counter scope "dedup_hits";
+    tl_approx_bytes = Telemetry.Scope.counter scope "approx_bytes";
+    tl_replayed = Telemetry.Scope.counter scope "replayed";
+  }
+
+let record_copy t (stats : Checkpointable.stats) =
+  Telemetry.Counter.add t.tl_nodes stats.Checkpointable.nodes;
+  Telemetry.Counter.add t.tl_rc_copies stats.Checkpointable.rc_copies;
+  Telemetry.Counter.add t.tl_dedup_hits stats.Checkpointable.rc_dedup_hits;
+  Telemetry.Counter.add t.tl_approx_bytes (stats.Checkpointable.nodes * bytes_per_node)
+
+let record_snapshot t stats =
+  Telemetry.Counter.incr t.tl_snapshots;
+  record_copy t stats
+
+let record_rollback t stats =
+  Telemetry.Counter.incr t.tl_rollbacks;
+  record_copy t stats
+
+let record_replayed t n = Telemetry.Counter.add t.tl_replayed n

@@ -1,0 +1,16 @@
+(** Pre-resolved [chkpt.*] metric handles, shared by {!Store} and
+    {!Replay}: snapshot/rollback counts, descriptor nodes traversed,
+    Rc copies and dedup hits, an approximate copied-byte count
+    ({!bytes_per_node} per node), and inputs replayed on recovery. *)
+
+type t
+
+val bytes_per_node : int
+
+val v : Telemetry.Registry.t -> t
+(** Resolve (or re-find) the handles in [reg]; all instances given the
+    same registry aggregate into the same counters. *)
+
+val record_snapshot : t -> Checkpointable.stats -> unit
+val record_rollback : t -> Checkpointable.stats -> unit
+val record_replayed : t -> int -> unit

@@ -18,9 +18,10 @@
     Substrates: {!Linear} (the dynamic linear-ownership runtime that
     stands in for Rust's type system — see DESIGN.md §2), {!Cycles}
     (deterministic cycle-cost model and cache simulator standing in
-    for the paper's Xeon testbed), and {!Netstack} (the NetBricks/DPDK
+    for the paper's Xeon testbed), {!Netstack} (the NetBricks/DPDK
     -style packet framework and Maglev load balancer used by the §3
-    evaluation). *)
+    evaluation), and {!Telemetry} (deterministic counters/histograms/
+    spans in virtual cycles, wired through all three contributions). *)
 
 let version = "1.0.0"
 
@@ -30,3 +31,4 @@ module Sfi = Sfi
 module Netstack = Netstack
 module Ifc = Ifc
 module Chkpt = Chkpt
+module Telemetry = Telemetry

@@ -8,10 +8,13 @@ type attribution_row = {
 
 type unwind_row = { unwind_cost : int; recovery_total : float }
 
+type tele_row = { tele_op : string; events : int; cycles_per_event : float }
+
 type result = {
   pin : pin_row list;
   attribution : attribution_row list;
   unwind : unwind_row list;
+  telemetry : tele_row list;
 }
 
 (* A1: full invoke vs pinned invoke on a hot counter service. *)
@@ -109,8 +112,58 @@ let unwind_ablation () =
       { unwind_cost = unwind; recovery_total = Cycles.Stats.mean stats })
     [ 0; 1400; 2800; 5600 ]
 
+(* A4: what one telemetry event costs in virtual cycles. The charged
+   registry bills each recording to the clock through the same cost
+   model as everything else; the default (uncharged) registry is free
+   by construction — which is why wiring telemetry into the Figure-2
+   runs does not move their numbers. *)
+let telemetry_overhead ?(events = 10_000) () =
+  let clock = Cycles.Clock.create () in
+  let reg = Telemetry.Registry.create ~clock ~charge:true () in
+  let counter = Telemetry.Registry.counter reg "ablation.counter" in
+  let hist = Telemetry.Registry.histogram reg "ablation.hist" in
+  let span = Telemetry.Span.create ~clock (Telemetry.Registry.histogram reg "ablation.span") in
+  let uncharged = Telemetry.Registry.create () in
+  let free_counter = Telemetry.Registry.counter uncharged "ablation.counter" in
+  let per_event f =
+    let _, cycles =
+      Cycles.Clock.measure clock (fun () ->
+          for i = 1 to events do
+            f i
+          done)
+    in
+    Int64.to_float cycles /. float_of_int events
+  in
+  [
+    {
+      tele_op = "counter incr (charged)";
+      events;
+      cycles_per_event = per_event (fun _ -> Telemetry.Counter.incr counter);
+    };
+    {
+      tele_op = "histogram observe (charged)";
+      events;
+      cycles_per_event = per_event (fun i -> Telemetry.Histogram.observe hist i);
+    };
+    {
+      tele_op = "span enter+exit (charged)";
+      events;
+      cycles_per_event = per_event (fun _ -> Telemetry.Span.with_ span (fun () -> ()));
+    };
+    {
+      tele_op = "counter incr (uncharged)";
+      events;
+      cycles_per_event = per_event (fun _ -> Telemetry.Counter.incr free_counter);
+    };
+  ]
+
 let run ?(trials = 1000) () =
-  { pin = pin_ablation ~trials; attribution = attribution_ablation (); unwind = unwind_ablation () }
+  {
+    pin = pin_ablation ~trials;
+    attribution = attribution_ablation ();
+    unwind = unwind_ablation ();
+    telemetry = telemetry_overhead ();
+  }
 
 let print r =
   print_endline "A1: full remote invocation vs pinned strong reference";
@@ -130,4 +183,11 @@ let print r =
   print_endline "A3: recovery cost vs modelled stack-unwind cost";
   Table.print
     ~header:[ "unwind cycles"; "recovery total" ]
-    (List.map (fun u -> [ Table.fi u.unwind_cost; Table.ff u.recovery_total ]) r.unwind)
+    (List.map (fun u -> [ Table.fi u.unwind_cost; Table.ff u.recovery_total ]) r.unwind);
+  print_endline "";
+  print_endline "A4: telemetry per-event cost (virtual cycles, charged vs default registry)";
+  Table.print
+    ~header:[ "operation"; "events"; "cycles/event" ]
+    (List.map
+       (fun t -> [ t.tele_op; Table.fi t.events; Table.ff ~decimals:1 t.cycles_per_event ])
+       r.telemetry)

@@ -10,7 +10,11 @@
       upgrade, indirect call), showing where the ~90 cycles live.
     - {b A3 — unwind-cost sensitivity}: recovery cost (E3) as a
       function of the modelled stack-unwind cost, substantiating that
-      unwinding dominates the paper's 4389 cycles. *)
+      unwinding dominates the paper's 4389 cycles.
+    - {b A4 — telemetry per-event cost}: virtual cycles charged per
+      counter increment / histogram observation / span, on a charged
+      registry vs the free default one — the observability tax the
+      other experiments do {e not} pay. *)
 
 type pin_row = { variant : string; cycles_per_call : float; revocable : bool }
 
@@ -22,11 +26,23 @@ type attribution_row = {
 
 type unwind_row = { unwind_cost : int; recovery_total : float }
 
+type tele_row = {
+  tele_op : string;
+  events : int;
+  cycles_per_event : float;
+}
+
 type result = {
   pin : pin_row list;
   attribution : attribution_row list;
   unwind : unwind_row list;
+  telemetry : tele_row list;
 }
+
+val telemetry_overhead : ?events:int -> unit -> tele_row list
+(** A4 alone (default 10_000 events per operation): charged rows cost
+    a small bounded number of cycles per event; the uncharged row
+    costs exactly zero virtual cycles. *)
 
 val run : ?trials:int -> unit -> result
 val print : result -> unit

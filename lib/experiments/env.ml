@@ -4,20 +4,21 @@ type t = {
   engine : Netstack.Engine.t;
   nic : Netstack.Nic.t;
   manager : Sfi.Manager.t;
+  telemetry : Telemetry.Registry.t;
 }
 
 let make ?(seed = 2017L) ?(pool_capacity = 4096) ?(flows = 1024) ?(payload_bytes = 18)
-    ?model () =
+    ?model ?(telemetry = Telemetry.Registry.global) () =
   let clock =
     match model with None -> Cycles.Clock.create () | Some m -> Cycles.Clock.create ~model:m ()
   in
   let pool = Netstack.Mempool.create ~clock ~capacity:pool_capacity () in
-  let engine = Netstack.Engine.create ~clock ~pool () in
+  let engine = Netstack.Engine.create ~clock ~pool ~telemetry () in
   let rng = Cycles.Rng.create seed in
   let traffic = Netstack.Traffic.create ~rng ~payload_bytes (Netstack.Traffic.Uniform { flows }) in
   let nic = Netstack.Nic.create ~engine ~traffic () in
-  let manager = Sfi.Manager.create ~clock () in
-  { clock; pool; engine; nic; manager }
+  let manager = Sfi.Manager.create ~clock ~telemetry () in
+  { clock; pool; engine; nic; manager; telemetry }
 
 let run_batch t pipe batch =
   let b = Netstack.Nic.rx_batch t.nic batch in

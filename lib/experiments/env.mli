@@ -12,6 +12,7 @@ type t = {
   engine : Netstack.Engine.t;
   nic : Netstack.Nic.t;
   manager : Sfi.Manager.t;
+  telemetry : Telemetry.Registry.t;
 }
 
 val make :
@@ -20,10 +21,15 @@ val make :
   ?flows:int ->
   ?payload_bytes:int ->
   ?model:Cycles.Cost_model.t ->
+  ?telemetry:Telemetry.Registry.t ->
   unit ->
   t
 (** Defaults: seed 2017, 4096-buffer pool, 1024 uniform flows,
-    18-byte payloads (64-byte frames — the Figure-2 workload). *)
+    18-byte payloads (64-byte frames — the Figure-2 workload).
+    [telemetry] (default {!Telemetry.Registry.global}) is handed to
+    the engine and the SFI manager, so every environment records the
+    [netstack.*] / [sfi.*] metrics; pass a fresh registry to keep an
+    experiment's numbers isolated. *)
 
 val measure_pipeline :
   t -> Netstack.Pipeline.t -> batch:int -> warmup:int -> trials:int -> Cycles.Stats.t

@@ -12,32 +12,35 @@ let pipeline_length = 5
 
 let null_stages = List.init pipeline_length (fun _ -> Netstack.Filters.null)
 
-let measure_mode ~batch ~warmup ~trials mode_of_env =
+let measure_mode ?telemetry ~batch ~warmup ~trials mode_of_env =
   (* Fresh, identically-seeded environment per mode so the two runs see
      the same traffic and the same cold caches. *)
-  let env = Env.make () in
+  let env = Env.make ?telemetry () in
   let pipe = Netstack.Pipeline.create ~engine:env.Env.engine ~mode:(mode_of_env env) null_stages in
   Cycles.Stats.mean (Env.measure_pipeline env pipe ~batch ~warmup ~trials)
 
-let measure_maglev ~batch ~warmup ~trials =
-  let env = Env.make () in
+let measure_maglev ?telemetry ~batch ~warmup ~trials () =
+  let env = Env.make ?telemetry () in
   let _mg, stages = Env.maglev_nf env in
   let pipe = Netstack.Pipeline.create ~engine:env.Env.engine ~mode:Netstack.Pipeline.Direct stages in
   Cycles.Stats.mean (Env.measure_pipeline env pipe ~batch ~warmup ~trials)
 
 let default_batches = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
 
-let run ?(batches = default_batches) ?(warmup = 20) ?(trials = 100) () =
+let run ?(batches = default_batches) ?(warmup = 20) ?(trials = 100) ?telemetry () =
   List.map
     (fun batch ->
-      let direct_cycles = measure_mode ~batch ~warmup ~trials (fun _ -> Netstack.Pipeline.Direct) in
+      let direct_cycles =
+        measure_mode ?telemetry ~batch ~warmup ~trials (fun _ -> Netstack.Pipeline.Direct)
+      in
       let isolated_cycles =
-        measure_mode ~batch ~warmup ~trials (fun env -> Netstack.Pipeline.Isolated env.Env.manager)
+        measure_mode ?telemetry ~batch ~warmup ~trials (fun env ->
+            Netstack.Pipeline.Isolated env.Env.manager)
       in
       let overhead_per_call =
         (isolated_cycles -. direct_cycles) /. float_of_int pipeline_length
       in
-      let maglev_cycles = measure_maglev ~batch ~warmup ~trials in
+      let maglev_cycles = measure_maglev ?telemetry ~batch ~warmup ~trials () in
       {
         batch;
         direct_cycles;

@@ -25,7 +25,17 @@ val pipeline_length : int
 val default_batches : int list
 (** 1, 2, 4, ..., 256. *)
 
-val run : ?batches:int list -> ?warmup:int -> ?trials:int -> unit -> row list
-(** Default batches: 1,2,4,...,256; warmup 20; trials 100. *)
+val run :
+  ?batches:int list ->
+  ?warmup:int ->
+  ?trials:int ->
+  ?telemetry:Telemetry.Registry.t ->
+  unit ->
+  row list
+(** Default batches: 1,2,4,...,256; warmup 20; trials 100.
+    [telemetry] (default the global registry, via {!Env.make}) receives
+    the [sfi.*] / [netstack.*] metrics of every mode's run — the
+    cross-check tests feed a fresh registry here and assert exact
+    counts. *)
 
 val print : row list -> unit

@@ -5,8 +5,8 @@ type result = {
   total_mean : float;
 }
 
-let run ?(trials = 1000) ?(batch = 32) () =
-  let env = Env.make () in
+let run ?(trials = 1000) ?(batch = 32) ?telemetry () =
+  let env = Env.make ?telemetry () in
   (* A crash-looping null filter: panics on every batch from the first. *)
   let pipe =
     Netstack.Pipeline.create ~engine:env.Env.engine

@@ -16,7 +16,9 @@ type result = {
   total_mean : float;                (** Mean of (catch + recover). *)
 }
 
-val run : ?trials:int -> ?batch:int -> unit -> result
-(** Default: 1000 trials, batch 32. *)
+val run : ?trials:int -> ?batch:int -> ?telemetry:Telemetry.Registry.t -> unit -> result
+(** Default: 1000 trials, batch 32. [telemetry] (default global)
+    receives one [sfi.recovery_cycles] histogram entry and one
+    [sfi.fault-injector.{panics,recoveries}] tick per trial. *)
 
 val print : result -> unit

@@ -7,7 +7,8 @@ type row = {
   recovered_exact : bool;
 }
 
-let run ?(intervals = [ 1; 8; 64; 256 ]) ?(inputs = 2021) ?(seed = 5L) () =
+let run ?(intervals = [ 1; 8; 64; 256 ]) ?(inputs = 2021) ?(seed = 5L)
+    ?(telemetry = Telemetry.Registry.global) () =
   List.map
     (fun interval ->
       let rng = Cycles.Rng.create seed in
@@ -18,7 +19,7 @@ let run ?(intervals = [ 1; 8; 64; 256 ]) ?(inputs = 2021) ?(seed = 5L) () =
       let protected_nf =
         Chkpt.Replay.create ~desc:Netstack.Heavy_hitters.desc
           ~apply:(fun s flow -> Netstack.Heavy_hitters.observe s flow)
-          ~interval sketch
+          ~interval ~telemetry sketch
       in
       let ckpt_nodes = ref 0 in
       for _ = 1 to inputs do

@@ -20,9 +20,16 @@ type row = {
   recovered_exact : bool;
 }
 
-val run : ?intervals:int list -> ?inputs:int -> ?seed:int64 -> unit -> row list
+val run :
+  ?intervals:int list ->
+  ?inputs:int ->
+  ?seed:int64 ->
+  ?telemetry:Telemetry.Registry.t ->
+  unit ->
+  row list
 (** Defaults: intervals 1, 8, 64, 256; 2021 inputs (deliberately not a
     multiple of the intervals, so the crash lands mid-interval and the
-    log is non-trivial). *)
+    log is non-trivial). [telemetry] (default global) accumulates the
+    [chkpt.*] counters across all intervals. *)
 
 val print : row list -> unit

@@ -3,6 +3,7 @@ type mode = Untagged | Tagged
 type t = {
   clock : Cycles.Clock.t;
   pool : Mempool.t;
+  telemetry : Telemetry.Registry.t option;
   mutable mode : mode;
   tag_base : int64;
   tag_span : int;
@@ -11,10 +12,11 @@ type t = {
 
 let tag_table_bytes = 1 lsl 20 (* 1 MiB of ownership tags *)
 
-let create ~clock ~pool ?(mode = Untagged) () =
+let create ~clock ~pool ?telemetry ?(mode = Untagged) () =
   {
     clock;
     pool;
+    telemetry;
     mode;
     tag_base = Cycles.Clock.alloc_addr clock ~bytes:tag_table_bytes;
     tag_span = tag_table_bytes;
@@ -23,6 +25,7 @@ let create ~clock ~pool ?(mode = Untagged) () =
 
 let clock t = t.clock
 let pool t = t.pool
+let telemetry t = t.telemetry
 let mode t = t.mode
 let set_mode t m = t.mode <- m
 

@@ -22,10 +22,20 @@ type mode = Untagged | Tagged
 
 type t
 
-val create : clock:Cycles.Clock.t -> pool:Mempool.t -> ?mode:mode -> unit -> t
+val create :
+  clock:Cycles.Clock.t ->
+  pool:Mempool.t ->
+  ?telemetry:Telemetry.Registry.t ->
+  ?mode:mode ->
+  unit ->
+  t
+(** [telemetry] turns on the [netstack.*] metrics: the NIC and every
+    pipeline built on this engine pre-resolve their counters and
+    histograms from it at construction time. *)
 
 val clock : t -> Cycles.Clock.t
 val pool : t -> Mempool.t
+val telemetry : t -> Telemetry.Registry.t option
 val mode : t -> mode
 val set_mode : t -> mode -> unit
 

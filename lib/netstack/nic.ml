@@ -1,9 +1,15 @@
+type tele = {
+  tl_rx : Telemetry.Counter.t;
+  tl_tx : Telemetry.Counter.t;
+}
+
 type t = {
   engine : Engine.t;
   traffic : Traffic.t;
   ring_addr : int64;
   driver_state_addr : int64;
   driver_rng : Cycles.Rng.t;
+  tele : tele option;
   mutable rx_packets : int;
   mutable tx_packets : int;
 }
@@ -16,12 +22,24 @@ type t = {
 let driver_state_bytes = 256 * 1024
 
 let create ?(driver_seed = 0xD91DL) ~engine ~traffic () =
+  let tele =
+    match Engine.telemetry engine with
+    | None -> None
+    | Some reg ->
+      let scope = Telemetry.Scope.v reg "netstack.nic" in
+      Some
+        {
+          tl_rx = Telemetry.Scope.counter scope "rx_packets";
+          tl_tx = Telemetry.Scope.counter scope "tx_packets";
+        }
+  in
   {
     engine;
     traffic;
     ring_addr = Cycles.Clock.alloc_addr (Engine.clock engine) ~bytes:4096;
     driver_state_addr = Cycles.Clock.alloc_addr (Engine.clock engine) ~bytes:driver_state_bytes;
     driver_rng = Cycles.Rng.create driver_seed;
+    tele;
     rx_packets = 0;
     tx_packets = 0;
   }
@@ -63,6 +81,9 @@ let rx_batch t n =
          t.rx_packets <- t.rx_packets + 1
      done
    with Exit -> ());
+  (match t.tele with
+  | Some tl -> Telemetry.Counter.add tl.tl_rx (Batch.length batch)
+  | None -> ());
   batch
 
 let free_packets t ps =
@@ -86,6 +107,9 @@ let tx_batch t batch =
       Mempool.free (Engine.pool t.engine) p)
     ps;
   t.tx_packets <- t.tx_packets + n;
+  (match t.tele with
+  | Some tl -> Telemetry.Counter.add tl.tl_tx n
+  | None -> ());
   n
 
 let rx_packets t = t.rx_packets

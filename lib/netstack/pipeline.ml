@@ -13,11 +13,26 @@ type prepared =
   | P_calls of Stage.t array          (* Direct / Copying / Tagged share this *)
   | P_isolated of Sfi.Manager.t * isolated_stage array
 
+(* Pre-resolved per-stage handles under [netstack.stage.<name>.*]. *)
+type stage_tele = {
+  st_processed : Telemetry.Counter.t;
+  st_drops : Telemetry.Counter.t;
+}
+
+type tele = {
+  pt_batches : Telemetry.Counter.t;
+  pt_failed_batches : Telemetry.Counter.t;
+  pt_packets_in : Telemetry.Counter.t;
+  pt_batch_span : Telemetry.Span.t;
+  pt_stages : stage_tele array;
+}
+
 type t = {
   engine : Engine.t;
   mode : mode;
   prepared : prepared;
   n_stages : int;
+  tele : tele option;
   mutable batches_ok : int;
   mutable batches_failed : int;
 }
@@ -44,6 +59,31 @@ let prepare_isolated mgr stages =
       cell)
     stages
 
+let make_tele engine stages =
+  match Engine.telemetry engine with
+  | None -> None
+  | Some reg ->
+    let scope = Telemetry.Scope.v reg "netstack.pipeline" in
+    Some
+      {
+        pt_batches = Telemetry.Scope.counter scope "batches";
+        pt_failed_batches = Telemetry.Scope.counter scope "failed_batches";
+        pt_packets_in = Telemetry.Scope.counter scope "packets_in";
+        pt_batch_span =
+          Telemetry.Span.create ~clock:(Engine.clock engine)
+            (Telemetry.Scope.histogram scope "batch_cycles");
+        pt_stages =
+          Array.of_list
+            (List.map
+               (fun (stage : Stage.t) ->
+                 let s = Telemetry.Scope.v reg ("netstack.stage." ^ stage.Stage.name) in
+                 {
+                   st_processed = Telemetry.Scope.counter s "processed";
+                   st_drops = Telemetry.Scope.counter s "drops";
+                 })
+               stages);
+      }
+
 let create ~engine ~mode stages =
   if stages = [] then invalid_arg "Pipeline.create: no stages";
   let prepared =
@@ -51,7 +91,15 @@ let create ~engine ~mode stages =
     | Direct | Copying | Tagged -> P_calls (Array.of_list stages)
     | Isolated mgr -> P_isolated (mgr, Array.of_list (prepare_isolated mgr stages))
   in
-  { engine; mode; prepared; n_stages = List.length stages; batches_ok = 0; batches_failed = 0 }
+  {
+    engine;
+    mode;
+    prepared;
+    n_stages = List.length stages;
+    tele = make_tele engine stages;
+    batches_ok = 0;
+    batches_failed = 0;
+  }
 
 let length t = t.n_stages
 
@@ -86,6 +134,16 @@ let copy_batch engine batch =
     ps;
   fresh
 
+(* Stage [i] turned [in_len] packets into [out_len]: everything that
+   went in but did not come out was dropped by the stage. *)
+let record_stage t i ~in_len ~out_len =
+  match t.tele with
+  | None -> ()
+  | Some tl ->
+    let st = tl.pt_stages.(i) in
+    Telemetry.Counter.add st.st_processed out_len;
+    if in_len > out_len then Telemetry.Counter.add st.st_drops (in_len - out_len)
+
 let run_calls t stages batch =
   let clock = Engine.clock t.engine in
   let saved_mode = Engine.mode t.engine in
@@ -96,13 +154,17 @@ let run_calls t stages batch =
     ~finally:(fun () -> Engine.set_mode t.engine saved_mode)
     (fun () ->
       let current = ref batch in
-      Array.iter
-        (fun (stage : Stage.t) ->
+      Array.iteri
+        (fun i (stage : Stage.t) ->
+          (* Measured before [copy_batch]: a pool-pressure drop during
+             the copy is charged to the stage about to run. *)
+          let in_len = Batch.length !current in
           (match t.mode with
           | Copying -> current := copy_batch t.engine !current
           | Direct | Tagged | Isolated _ -> ());
           Cycles.Clock.charge clock Call;
-          current := stage.Stage.process t.engine !current)
+          current := stage.Stage.process t.engine !current;
+          record_stage t i ~in_len ~out_len:(Batch.length !current))
         stages;
       Ok !current)
 
@@ -118,8 +180,11 @@ let run_isolated t cells batch =
       match
         Sfi.Rref.invoke_move cell.rref owned (fun stage b -> stage.Stage.process t.engine b)
       with
-      | Ok batch' -> go (i + 1) batch'
+      | Ok batch' ->
+        record_stage t i ~in_len:(List.length in_flight) ~out_len:(Batch.length batch');
+        go (i + 1) batch'
       | Error e ->
+        record_stage t i ~in_len:(List.length in_flight) ~out_len:0;
         (* The failed domain's resources (here: the in-flight packet
            buffers) are reclaimed by the management plane. Only buffers
            the stage still held are reclaimed — it may already have
@@ -132,14 +197,28 @@ let run_isolated t cells batch =
   go 0 batch
 
 let process t batch =
-  let result =
+  (match t.tele with
+  | Some tl ->
+    Telemetry.Counter.incr tl.pt_batches;
+    Telemetry.Counter.add tl.pt_packets_in (Batch.length batch)
+  | None -> ());
+  let body () =
     match t.prepared with
     | P_calls stages -> run_calls t stages batch
     | P_isolated (_, cells) -> run_isolated t cells batch
   in
+  let result =
+    match t.tele with
+    | Some tl -> Telemetry.Span.with_ tl.pt_batch_span body
+    | None -> body ()
+  in
   (match result with
   | Ok _ -> t.batches_ok <- t.batches_ok + 1
-  | Error _ -> t.batches_failed <- t.batches_failed + 1);
+  | Error _ ->
+    (match t.tele with
+    | Some tl -> Telemetry.Counter.incr tl.pt_failed_batches
+    | None -> ());
+    t.batches_failed <- t.batches_failed + 1);
   result
 
 let recover_stage t i =

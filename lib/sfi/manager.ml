@@ -12,6 +12,8 @@ type stats = {
 type t = {
   clock : Cycles.Clock.t;
   heap : Heap.t;
+  telemetry : Telemetry.Registry.t option;
+  recovery_span : Telemetry.Span.t option;
   mutable domains : Pdomain.t list;
   mutable domains_created : int;
   mutable domains_destroyed : int;
@@ -19,7 +21,7 @@ type t = {
   mutable slots_revoked : int;
 }
 
-let create ?clock ?model ?cache_config () =
+let create ?clock ?model ?cache_config ?telemetry () =
   let clock =
     match (clock, model, cache_config) with
     | Some clock, None, None -> clock
@@ -29,9 +31,17 @@ let create ?clock ?model ?cache_config () =
     | None, None, Some c -> Cycles.Clock.create ~cache_config:c ()
     | None, Some m, Some c -> Cycles.Clock.create ~model:m ~cache_config:c ()
   in
+  let recovery_span =
+    match telemetry with
+    | None -> None
+    | Some reg ->
+      Some (Telemetry.Span.create ~clock (Telemetry.Registry.histogram reg "sfi.recovery_cycles"))
+  in
   {
     clock;
     heap = Heap.create ~clock;
+    telemetry;
+    recovery_span;
     domains = [];
     domains_created = 0;
     domains_destroyed = 0;
@@ -41,9 +51,26 @@ let create ?clock ?model ?cache_config () =
 
 let clock t = t.clock
 let heap t = t.heap
+let telemetry t = t.telemetry
+
+let domain_tele t ~name =
+  match t.telemetry with
+  | None -> None
+  | Some reg ->
+    let scope = Telemetry.Scope.v reg ("sfi." ^ name) in
+    Some
+      {
+        Pdomain.tl_invocations = Telemetry.Scope.counter scope "invocations";
+        tl_panics = Telemetry.Scope.counter scope "panics";
+        tl_upgrade_failures = Telemetry.Scope.counter scope "upgrade_failures";
+        tl_recoveries = Telemetry.Scope.counter scope "recoveries";
+      }
 
 let create_domain t ~name ?policy ?recovery () =
-  let d = Pdomain.create ~clock:t.clock ~heap:t.heap ~name ?policy ?recovery () in
+  let d =
+    Pdomain.create ~clock:t.clock ~heap:t.heap ~name ?policy ?recovery
+      ?tele:(domain_tele t ~name) ()
+  in
   t.domains <- d :: t.domains;
   t.domains_created <- t.domains_created + 1;
   Log.info (fun m -> m "created domain %a (%s)" Domain_id.pp (Pdomain.id d) name);
@@ -54,10 +81,7 @@ let domains t = t.domains
 let find t id =
   List.find_opt (fun d -> Domain_id.equal (Pdomain.id d) id) t.domains
 
-let recover t d =
-  match Pdomain.state d with
-  | Destroyed -> Error "cannot recover a destroyed domain"
-  | Running | Failed _ ->
+let recover_body t d =
     (match Pdomain.state d with
     | Failed msg ->
       Log.warn (fun m -> m "recovering %a after panic: %s" Domain_id.pp (Pdomain.id d) msg)
@@ -84,6 +108,16 @@ let recover t d =
       (match Pdomain.execute d (fun () -> init d) with
       | Ok () -> Ok ()
       | Error e -> Error (Sfi_error.to_string e)))
+
+let recover t d =
+  match Pdomain.state d with
+  | Destroyed -> Error "cannot recover a destroyed domain"
+  | Running | Failed _ ->
+    (* The whole recovery sequence is one span: its virtual-cycle
+       duration lands in the [sfi.recovery_cycles] histogram. *)
+    (match t.recovery_span with
+    | None -> recover_body t d
+    | Some span -> Telemetry.Span.with_ span (fun () -> recover_body t d))
 
 let destroy t d =
   match Pdomain.state d with

@@ -3,6 +3,15 @@ type state =
   | Failed of string
   | Destroyed
 
+(* Pre-resolved telemetry handles, minted by the manager under
+   [sfi.<name>.*]; recording is a single atomic op on the hot path. *)
+type tele = {
+  tl_invocations : Telemetry.Counter.t;
+  tl_panics : Telemetry.Counter.t;
+  tl_upgrade_failures : Telemetry.Counter.t;
+  tl_recoveries : Telemetry.Counter.t;
+}
+
 type t = {
   id : Domain_id.t;
   name : string;
@@ -17,9 +26,10 @@ type t = {
   mutable panic_count : int;
   mutable cycles_consumed : int64;
   mutable entry_count : int;
+  tele : tele option;
 }
 
-let create ~clock ~heap ~name ?(policy = Policy.allow_all) ?recovery () =
+let create ~clock ~heap ~name ?(policy = Policy.allow_all) ?recovery ?tele () =
   let id = Domain_id.fresh () in
   {
     id;
@@ -35,6 +45,7 @@ let create ~clock ~heap ~name ?(policy = Policy.allow_all) ?recovery () =
     panic_count = 0;
     cycles_consumed = 0L;
     entry_count = 0;
+    tele;
   }
 
 let id t = t.id
@@ -52,6 +63,12 @@ let generation t = t.generation
 let panic_count t = t.panic_count
 let cycles_consumed t = t.cycles_consumed
 let entry_count t = t.entry_count
+let tele t = t.tele
+
+let record_panic t =
+  match t.tele with
+  | Some tl -> Telemetry.Counter.incr tl.tl_panics
+  | None -> ()
 
 let execute t f =
   match t.state with
@@ -76,6 +93,7 @@ let execute t f =
       Cycles.Clock.charge t.clock Unwind;
       t.state <- Failed msg;
       t.panic_count <- t.panic_count + 1;
+      record_panic t;
       Error (Sfi_error.Domain_failed msg))
 
 let alloc t ~bytes =
@@ -85,10 +103,14 @@ let alloc t ~bytes =
 
 let mark_failed t msg =
   t.state <- Failed msg;
-  t.panic_count <- t.panic_count + 1
+  t.panic_count <- t.panic_count + 1;
+  record_panic t
 
 let mark_destroyed t = t.state <- Destroyed
 
 let reset_after_recovery t =
   t.state <- Running;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  match t.tele with
+  | Some tl -> Telemetry.Counter.incr tl.tl_recoveries
+  | None -> ()

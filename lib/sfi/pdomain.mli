@@ -18,17 +18,30 @@ type state =
 
 type t
 
+(** Pre-resolved telemetry handles under [sfi.<name>.*] — built by
+    {!Manager.create_domain} when the manager carries a registry, so
+    hot-path recording never hashes a metric name. *)
+type tele = {
+  tl_invocations : Telemetry.Counter.t;
+  tl_panics : Telemetry.Counter.t;
+  tl_upgrade_failures : Telemetry.Counter.t;
+  tl_recoveries : Telemetry.Counter.t;
+}
+
 val create :
   clock:Cycles.Clock.t ->
   heap:Heap.t ->
   name:string ->
   ?policy:Policy.t ->
   ?recovery:(t -> unit) ->
+  ?tele:tele ->
   unit ->
   t
 (** Normally called via {!Manager.create_domain}. [recovery] is the
     "user-provided recovery function to re-initialize the domain from
     clean state"; it runs inside the fresh domain. *)
+
+val tele : t -> tele option
 
 val id : t -> Domain_id.t
 val name : t -> string

@@ -34,12 +34,22 @@ let enter t =
       Cycles.Clock.touch clock t.slot_addr ~bytes:16;
       Cycles.Clock.charge clock Atomic_rmw;
       match Linear.Rc.upgrade t.weak with
-      | None -> Error Sfi_error.Revoked
+      | None ->
+        (match Pdomain.tele t.target with
+        | Some tl -> Telemetry.Counter.incr tl.Pdomain.tl_upgrade_failures
+        | None -> ());
+        Error Sfi_error.Revoked
       | Some strong -> Ok strong
     end
 
+let record_invocation target =
+  match Pdomain.tele target with
+  | Some tl -> Telemetry.Counter.incr tl.Pdomain.tl_invocations
+  | None -> ()
+
 let dispatch t strong body =
   let clock = Pdomain.clock t.target in
+  record_invocation t.target;
   (* 5. Indirect dispatch through the proxy. *)
   Cycles.Clock.charge clock Indirect_call;
   let result = Pdomain.execute t.target (fun () -> body (Linear.Rc.get strong)) in
@@ -76,6 +86,7 @@ let pin t =
 
 let invoke_pinned p body =
   let clock = Pdomain.clock p.p_target in
+  record_invocation p.p_target;
   Cycles.Clock.charge clock Indirect_call;
   Pdomain.execute p.p_target (fun () -> body (Linear.Rc.get p.p_strong))
 

@@ -1,0 +1,39 @@
+(** Log-bucketed latency/size histogram.
+
+    Buckets are exact for values below 8; above that each power-of-two
+    octave is split into 8 linear sub-buckets, bounding the relative
+    error of any quantile estimate by ~12.5 % (always >= the exact
+    rank statistic, never below). {!observe} is O(1): one bucket
+    fetch-and-add plus min/max CAS — safe and loss-free across OCaml
+    domains. *)
+
+type t
+
+val make : charge:(unit -> unit) -> unit -> t
+(** Used by {!Registry}. *)
+
+val observe : t -> int -> unit
+(** Record one sample (negative values clamp to 0). *)
+
+val count : t -> int
+val sum : t -> int
+val min : t -> int
+val max : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] with rank ceil(p/100*n) — the {!Cycles.Stats}
+    convention. 0 on an empty histogram; raises on p outside
+    [0, 100]. *)
+
+val bucket_counts : t -> int array
+(** Snapshot of raw bucket occupancy (for tests: the bucket total must
+    equal {!count} — a torn bucket would break that invariant). *)
+
+val index : int -> int
+(** Bucket index of a value (exposed for tests). *)
+
+val bounds : int -> int * int
+(** Inclusive value range covered by a bucket index. *)
+
+val reset : t -> unit

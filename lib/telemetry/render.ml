@@ -1,0 +1,29 @@
+(* Deterministic text rendering: metrics sorted by name, fixed number
+   formats, no timestamps — two runs of the same experiment must
+   produce byte-identical output (the telemetry acceptance
+   criterion). *)
+
+let value_string = function
+  | Snapshot.Counter_v v -> string_of_int v
+  | Snapshot.Gauge_v v -> Printf.sprintf "%d (gauge)" v
+  | Snapshot.Histogram_v h ->
+    Printf.sprintf "n=%d p50=%d p90=%d p99=%d max=%d mean=%.1f" h.Snapshot.h_count
+      h.Snapshot.h_p50 h.Snapshot.h_p90 h.Snapshot.h_p99 h.Snapshot.h_max h.Snapshot.h_mean
+
+let to_string ?(title = "telemetry") registry =
+  let snap = Snapshot.capture registry in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "-- %s --\n" title);
+  if snap = [] then Buffer.add_string buf "  (no metrics recorded)\n"
+  else begin
+    let width =
+      List.fold_left (fun acc (name, _) -> Stdlib.max acc (String.length name)) 0 snap
+    in
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-*s  %s\n" width name (value_string v)))
+      snap
+  end;
+  Buffer.contents buf
+
+let print ?title registry = print_string (to_string ?title registry)

@@ -1,0 +1,7 @@
+(** The [repro stats] text table: one aligned row per metric, sorted
+    by name, with fixed formats and no wall-clock anywhere — the
+    output is byte-identical across runs of the same deterministic
+    experiment. *)
+
+val to_string : ?title:string -> Registry.t -> string
+val print : ?title:string -> Registry.t -> unit

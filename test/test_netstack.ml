@@ -108,6 +108,67 @@ let prop_packet_checksum_roundtrip =
       && Packet.ttl p = ttl
       && Flow.equal flow (Packet.flow_of p))
 
+(* [ipv4_checksum_ok] recomputes the full RFC 1071 header sum and
+   compares it to the stored field, so it holding after a mutation is
+   exactly "RFC 1624 incremental update == full recompute". *)
+let arb_crafted_packet =
+  QCheck.(
+    quad (int_range 0 500) (int_range 1 255) (pair int32 (int_range 0 65535)) bool)
+
+let craft_of_quad (payload_bytes, ttl, (src_ip, src_port), is_tcp) =
+  let p = fresh_packet () in
+  let protocol = if is_tcp then Flow.Tcp else Flow.Udp in
+  let flow =
+    Flow.make ~src_ip ~dst_ip:0xC0A80001l ~src_port ~dst_port:80 ~protocol
+  in
+  (match protocol with
+  | Flow.Udp -> Packet.craft_udp p ~flow ~payload_bytes ~ttl
+  | Flow.Tcp -> Packet.craft_tcp p ~flow ~payload_bytes ~ttl);
+  p
+
+let prop_incremental_checksum_ttl =
+  QCheck.Test.make ~name:"RFC1624 ttl decrement == RFC1071 recompute" ~count:300
+    arb_crafted_packet (fun quad ->
+      let p = craft_of_quad quad in
+      let _, ttl, _, _ = quad in
+      (* Walk the ttl all the way down, checking the incrementally
+         patched checksum against a full recompute at every hop. *)
+      let ok = ref (Packet.ipv4_checksum_ok p) in
+      for next = ttl - 1 downto Stdlib.max 0 (ttl - 16) do
+        Packet.set_ttl p next;
+        ok := !ok && Packet.ipv4_checksum_ok p && Packet.ttl p = next
+      done;
+      !ok)
+
+let prop_incremental_checksum_snat =
+  QCheck.Test.make ~name:"RFC1624 SNAT rewrite == RFC1071 recompute" ~count:300
+    QCheck.(pair arb_crafted_packet (pair int32 (int_range 0 65535)))
+    (fun (quad, (new_ip, new_port)) ->
+      let p = craft_of_quad quad in
+      (* A NAT rewrite: source address (IP header, checksummed) then
+         source port (L4 header, not part of the IPv4 sum). *)
+      Packet.set_src_ip p new_ip;
+      let ok_ip = Packet.ipv4_checksum_ok p && Packet.src_ip p = new_ip in
+      Packet.set_src_port p new_port;
+      ok_ip && Packet.ipv4_checksum_ok p && Packet.src_port p = new_port)
+
+let prop_incremental_checksum_chain =
+  QCheck.Test.make ~name:"chained incremental updates stay exact" ~count:200
+    QCheck.(
+      pair arb_crafted_packet
+        (list_of_size Gen.(int_range 1 12) (pair (int_range 0 3) (int_range 0 65535))))
+    (fun (quad, ops) ->
+      let p = craft_of_quad quad in
+      List.for_all
+        (fun (op, v) ->
+          (match op with
+          | 0 -> Packet.set_ttl p (v land 0xFF)
+          | 1 -> Packet.set_src_ip p (Int32.of_int v)
+          | 2 -> Packet.set_dst_ip p (Int32.of_int (v * 31))
+          | _ -> Packet.set_src_port p v);
+          Packet.ipv4_checksum_ok p)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* Mempool                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -876,6 +937,9 @@ let () =
           Alcotest.test_case "truncated raises" `Quick test_packet_truncated_raises;
           Alcotest.test_case "buffer too small" `Quick test_packet_buffer_too_small;
           qt prop_packet_checksum_roundtrip;
+          qt prop_incremental_checksum_ttl;
+          qt prop_incremental_checksum_snat;
+          qt prop_incremental_checksum_chain;
         ] );
       ( "mempool",
         [
