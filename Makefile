@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick stats examples doc clean loc
+.PHONY: all build test bench bench-quick stats scale scale-determinism examples doc clean loc
 
 all: build test
 
@@ -19,6 +19,19 @@ bench-quick:
 
 stats:
 	dune exec bin/repro.exe -- stats fig2 recovery rollback
+
+scale:
+	dune exec bin/repro.exe -- scale
+
+# The tentpole invariant: the merged telemetry table must be
+# byte-identical however many domains the queues are spread over.
+scale-determinism:
+	dune exec bin/repro.exe -- scale --shards 1 --stats-only > /tmp/scale-1.txt
+	dune exec bin/repro.exe -- scale --shards 2 --stats-only > /tmp/scale-2.txt
+	dune exec bin/repro.exe -- scale --shards 4 --stats-only > /tmp/scale-4.txt
+	diff /tmp/scale-1.txt /tmp/scale-2.txt
+	diff /tmp/scale-1.txt /tmp/scale-4.txt
+	@echo "scale determinism: OK (1/2/4 shards byte-identical)"
 
 examples:
 	dune exec examples/quickstart.exe

@@ -59,7 +59,7 @@ let bench_pipeline name mode_of_env =
   Test.make ~name
     (Staged.stage (fun () ->
          let b = Netstack.Nic.rx_batch env.Experiments.Env.nic 32 in
-         match Netstack.Pipeline.process pipe b with
+         match Netstack.Pipeline.run pipe b with
          | Ok out -> ignore (Netstack.Nic.tx_batch env.Experiments.Env.nic out)
          | Error _ -> assert false))
 
@@ -70,6 +70,15 @@ let bench_maglev_lookup =
   let traffic = Netstack.Traffic.create ~rng (Netstack.Traffic.Uniform { flows = 1024 }) in
   Test.make ~name:"e4: maglev lookup (per flow)"
     (Staged.stage (fun () -> ignore (Netstack.Maglev.lookup mg (Netstack.Traffic.next_flow traffic))))
+
+(* E14: the RSS steering decision on the receive path. *)
+let bench_rss_steer =
+  let rss = Netstack.Rss.create ~queues:8 () in
+  let rng = Cycles.Rng.create 11L in
+  let traffic = Netstack.Traffic.create ~rng (Netstack.Traffic.Uniform { flows = 1024 }) in
+  Test.make ~name:"e14: rss steer (per flow)"
+    (Staged.stage (fun () ->
+         ignore (Netstack.Rss.queue rss (Netstack.Traffic.next_flow traffic))))
 
 (* E5/E6: verification passes. *)
 let bench_verify name strategy program =
@@ -98,6 +107,7 @@ let tests =
       bench_pipeline "e4: maglev NF batch, isolated" (fun env ->
           Netstack.Pipeline.Isolated env.Experiments.Env.manager);
       bench_maglev_lookup;
+      bench_rss_steer;
       bench_verify "e5: verify buffer (exact)" Ifc.Verifier.Exact Ifc.Examples.buffer_leak_safe;
       bench_verify "e6: verify store-32 (exact/inline)" Ifc.Verifier.Exact
         (Ifc.Examples.secure_store ~clients:32 ());

@@ -107,6 +107,91 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ ids)
 
+let scale_cmd =
+  let doc =
+    "Run the sharded multicore packet engine: RSS spreads a fixed set of receive queues over \
+     N OCaml domains, each queue a complete shared-nothing replica. Wall-clock time falls \
+     with shards; the merged telemetry table is byte-identical for any shard count."
+  in
+  let shards =
+    let doc =
+      "Shard (domain) counts to run, comma-separated. Defaults to 1,2,4,8 capped at the \
+       host's recommended domain count."
+    in
+    Arg.(value & opt (some (list int)) None & info [ "shards"; "n" ] ~docv:"N,N,..." ~doc)
+  in
+  let rounds =
+    let doc = "Scheduling rounds (each round draws one batch of global arrivals)." in
+    Arg.(value & opt int Experiments.Scaling.default_rounds & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let batch =
+    let doc = "Global arrivals per round." in
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let queues =
+    let doc =
+      "RSS receive queues. Fixed across shard counts — this is what makes the telemetry \
+       shard-count-invariant; every shard count must divide the work of the same queues."
+    in
+    Arg.(value & opt int 8 & info [ "queues" ] ~docv:"N" ~doc)
+  in
+  let mode =
+    let mode_conv =
+      Arg.enum
+        Netstack.Shard.
+          [
+            ("direct", Direct); ("isolated", Isolated); ("copying", Copying); ("tagged", Tagged);
+          ]
+    in
+    let doc = "Restrict to one pipeline mode: direct, isolated, copying, or tagged." in
+    Arg.(value & opt (some mode_conv) None & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
+  in
+  let stats_only =
+    let doc =
+      "Print only the merged telemetry table of each run (no wall-clock anywhere in the \
+       output), so runs with different shard counts can be diffed byte-for-byte."
+    in
+    Arg.(value & flag & info [ "stats-only" ] ~doc)
+  in
+  let run shards rounds batch queues mode stats_only =
+    let shards_list =
+      match shards with Some l -> l | None -> Experiments.Scaling.default_shards_list ()
+    in
+    (* Surface bad sizes as clean CLI errors, not engine exceptions. *)
+    (match
+       List.find_opt (fun n -> n <= 0 || n > queues) shards_list
+     with
+    | Some n ->
+      Printf.eprintf "repro scale: invalid shard count %d (need 1 <= shards <= queues = %d)\n"
+        n queues;
+      exit 1
+    | None -> ());
+    if rounds <= 0 || batch <= 0 || queues <= 0 then begin
+      prerr_endline "repro scale: --rounds, --batch and --queues must be positive";
+      exit 1
+    end;
+    if stats_only then
+      let mode = Option.value mode ~default:Netstack.Shard.Direct in
+      List.iter
+        (fun n ->
+          let _, r =
+            Experiments.Scaling.run_one ~queues ~rounds ~batch_size:batch ~mode ~shards:n ()
+          in
+          (* Deliberately no shard count in the title: the whole point
+             is that this block diffs clean across shard counts. *)
+          Telemetry.Render.print
+            ~title:(Printf.sprintf "scale telemetry (%s)" (Netstack.Shard.mode_name mode))
+            r.Netstack.Shard.r_telemetry;
+          print_newline ())
+        shards_list
+    else
+      let modes = match mode with Some m -> [ m ] | None -> Experiments.Scaling.default_modes in
+      Experiments.Scaling.print
+        (Experiments.Scaling.run ~shards_list ~modes ~queues ~rounds ~batch_size:batch ())
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run $ shards $ rounds $ batch $ queues $ mode $ stats_only)
+
 let verify_cmd =
   let doc =
     "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
@@ -177,4 +262,4 @@ let () =
     "Reproduce the evaluation of 'System Programming in Rust: Beyond Safety' (HotOS '17)"
   in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd; verify_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd; scale_cmd; verify_cmd ]))

@@ -49,7 +49,7 @@ let () =
       trigger := true
     end;
     let b = Netstack.Nic.rx_batch env.Experiments.Env.nic batch_size in
-    match Netstack.Pipeline.process pipe b with
+    match Netstack.Pipeline.run pipe b with
     | Ok out ->
       forwarded := !forwarded + Netstack.Nic.tx_batch env.Experiments.Env.nic out
     | Error e ->

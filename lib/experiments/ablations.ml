@@ -100,7 +100,7 @@ let unwind_ablation () =
       let stats = Cycles.Stats.create () in
       for _ = 1 to 200 do
         let b = Netstack.Nic.rx_batch env.Env.nic 32 in
-        let _, c1 = Cycles.Clock.measure env.Env.clock (fun () -> Netstack.Pipeline.process pipe b) in
+        let _, c1 = Cycles.Clock.measure env.Env.clock (fun () -> Netstack.Pipeline.run pipe b) in
         let _, c2 =
           Cycles.Clock.measure env.Env.clock (fun () ->
               match Netstack.Pipeline.recover_stage pipe 0 with

@@ -46,7 +46,7 @@ let run_campaign ~mode_of_env ~p ~batches ~batch_size ~seed =
       let b = Netstack.Nic.rx_batch env.Env.nic batch_size in
       let result, cycles =
         Cycles.Clock.measure env.Env.clock (fun () ->
-            match Netstack.Pipeline.process pipe b with
+            match Netstack.Pipeline.run pipe b with
             | r -> r
             | exception Sfi.Panic.Panic _ ->
               (* Direct mode: the fault escapes; the pipeline is gone.

@@ -22,7 +22,7 @@ let make ?(seed = 2017L) ?(pool_capacity = 4096) ?(flows = 1024) ?(payload_bytes
 
 let run_batch t pipe batch =
   let b = Netstack.Nic.rx_batch t.nic batch in
-  let result, cycles = Cycles.Clock.measure t.clock (fun () -> Netstack.Pipeline.process pipe b) in
+  let result, cycles = Cycles.Clock.measure t.clock (fun () -> Netstack.Pipeline.run pipe b) in
   match result with
   | Ok out ->
     ignore (Netstack.Nic.tx_batch t.nic out);

@@ -33,7 +33,7 @@ val make :
 
 val measure_pipeline :
   t -> Netstack.Pipeline.t -> batch:int -> warmup:int -> trials:int -> Cycles.Stats.t
-(** Mean cycles per [Pipeline.process] call (rx/tx excluded from the
+(** Mean cycles per [Pipeline.run] call (rx/tx excluded from the
     measurement but executed, so their cache side effects are felt —
     as on real hardware). Raises [Failure] if any batch errors. *)
 

@@ -17,7 +17,7 @@ let replica ~seed ~isolated ~batches ~batch_size () =
   fun () ->
     for _ = 1 to batches do
       let b = Netstack.Nic.rx_batch env.Env.nic batch_size in
-      match Netstack.Pipeline.process pipe b with
+      match Netstack.Pipeline.run pipe b with
       | Ok out -> ignore (Netstack.Nic.tx_batch env.Env.nic out)
       | Error e -> failwith (Sfi.Sfi_error.to_string e)
     done

@@ -18,7 +18,7 @@ let run ?(trials = 1000) ?(batch = 32) ?telemetry () =
   for _ = 1 to trials do
     let b = Netstack.Nic.rx_batch env.Env.nic batch in
     let result, c_catch =
-      Cycles.Clock.measure env.Env.clock (fun () -> Netstack.Pipeline.process pipe b)
+      Cycles.Clock.measure env.Env.clock (fun () -> Netstack.Pipeline.run pipe b)
     in
     (match result with
     | Error (Sfi.Sfi_error.Domain_failed _) -> ()

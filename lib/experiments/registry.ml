@@ -95,6 +95,17 @@ let all =
           Multicore.print (Multicore.run ~batches_per_core ()));
     };
     {
+      id = "scale";
+      description = "E14 (extension): sharded engine - scaling vs shard count, fixed queues";
+      run =
+        (fun ~quick ->
+          let rounds = if quick then 300 else Scaling.default_rounds in
+          let modes =
+            if quick then Netstack.Shard.[ Direct; Isolated ] else Scaling.default_modes
+          in
+          Scaling.print (Scaling.run ~modes ~rounds ()));
+    };
+    {
       id = "ablations";
       description = "A1-A3: design-choice ablations";
       run =

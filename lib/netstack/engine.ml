@@ -4,10 +4,10 @@ type t = {
   clock : Cycles.Clock.t;
   pool : Mempool.t;
   telemetry : Telemetry.Registry.t option;
-  mutable mode : mode;
+  mode : mode;
   tag_base : int64;
   tag_span : int;
-  mutable tag_checks : int;
+  tag_checks : int ref;
 }
 
 let tag_table_bytes = 1 lsl 20 (* 1 MiB of ownership tags *)
@@ -20,14 +20,20 @@ let create ~clock ~pool ?telemetry ?(mode = Untagged) () =
     mode;
     tag_base = Cycles.Clock.alloc_addr clock ~bytes:tag_table_bytes;
     tag_span = tag_table_bytes;
-    tag_checks = 0;
+    tag_checks = ref 0;
   }
 
 let clock t = t.clock
 let pool t = t.pool
 let telemetry t = t.telemetry
 let mode t = t.mode
-let set_mode t m = t.mode <- m
+
+(* A view, not a copy: clock, pool, tag table and the tag-check counter
+   are shared with the parent, only the access mode differs. Mode is
+   immutable per engine value, so concurrent shards can never race on
+   it — a Tagged pipeline builds its own view instead of flipping a
+   shared engine. *)
+let with_mode t mode = { t with mode }
 
 (* One tag word per 64-byte granule of the shared heap, direct-mapped
    into the metadata table. *)
@@ -41,7 +47,7 @@ let tag_check t addr =
   Cycles.Clock.charge t.clock (Alu 6);
   Cycles.Clock.touch t.clock tag_addr ~bytes:8;
   Cycles.Clock.charge t.clock Branch_hit;
-  t.tag_checks <- t.tag_checks + 1
+  incr t.tag_checks
 
 let touch t (p : Packet.t) ~off ~bytes =
   let addr = Int64.add p.addr (Int64.of_int off) in
@@ -58,4 +64,4 @@ let touch t (p : Packet.t) ~off ~bytes =
 let touch_packet = touch
 let touch_packet_write = touch
 
-let tag_checks t = t.tag_checks
+let tag_checks t = !(t.tag_checks)

@@ -36,8 +36,18 @@ val create :
 val clock : t -> Cycles.Clock.t
 val pool : t -> Mempool.t
 val telemetry : t -> Telemetry.Registry.t option
+
 val mode : t -> mode
-val set_mode : t -> mode -> unit
+(** The access mode is fixed at {!create} time — engines are
+    mode-immutable so sharded pipelines can never race on a mode
+    flip. *)
+
+val with_mode : t -> mode -> t
+(** A view of the same engine under a different access mode: clock,
+    pool, telemetry, tag table and the tag-check counter are shared;
+    only the mode differs. This is how a [Tagged] pipeline gets its
+    per-dereference validation without mutating the engine other
+    pipelines (or other shards) are using. *)
 
 val touch_packet : t -> Packet.t -> off:int -> bytes:int -> unit
 (** Charge a read of [bytes] bytes at offset [off] of the packet

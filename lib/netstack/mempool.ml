@@ -7,6 +7,8 @@ type t = {
   free_slots : int array;      (* LIFO stack of free slot indices *)
   mutable free_top : int;      (* number of free slots *)
   slot_free : bool array;      (* double-free detection *)
+  slot_serial : int array;     (* allocation serial of each live slot *)
+  mutable next_serial : int;
   freelist_addr : int64;
 }
 
@@ -29,6 +31,8 @@ let create ~clock ~capacity ?(buf_bytes = default_buf_bytes) () =
     free_slots = Array.init capacity (fun i -> capacity - 1 - i);
     free_top = capacity;
     slot_free = Array.make capacity true;
+    slot_serial = Array.make capacity 0;
+    next_serial = 0;
     freelist_addr = Cycles.Clock.alloc_addr clock ~bytes:64;
   }
 
@@ -48,6 +52,8 @@ let alloc t =
     t.free_top <- t.free_top - 1;
     let slot = t.free_slots.(t.free_top) in
     t.slot_free.(slot) <- false;
+    t.slot_serial.(slot) <- t.next_serial;
+    t.next_serial <- t.next_serial + 1;
     Some { Packet.buf = t.buffers.(slot); len = 0; addr = addr_of_slot t slot; slot }
   end
 
@@ -62,12 +68,37 @@ let is_allocated t (p : Packet.t) =
   && Int64.equal p.addr (addr_of_slot t p.slot)
   && not t.slot_free.(p.slot)
 
+let free_slot t slot =
+  Cycles.Clock.touch t.clock t.freelist_addr ~bytes:8;
+  Cycles.Clock.charge t.clock (Alu 2);
+  t.slot_free.(slot) <- true;
+  t.free_slots.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1
+
 let free t (p : Packet.t) =
   if p.slot < 0 || p.slot >= t.capacity || not (Int64.equal p.addr (addr_of_slot t p.slot))
   then invalid_arg "Mempool.free: foreign packet";
   if t.slot_free.(p.slot) then invalid_arg "Mempool.free: double free";
-  Cycles.Clock.touch t.clock t.freelist_addr ~bytes:8;
-  Cycles.Clock.charge t.clock (Alu 2);
-  t.slot_free.(p.slot) <- true;
-  t.free_slots.(t.free_top) <- p.slot;
-  t.free_top <- t.free_top + 1
+  free_slot t p.slot
+
+let mark t = t.next_serial
+
+(* Slots are scanned in slot order, not allocation order; the freelist
+   ends up in a deterministic order either way, which is all the
+   deterministic engine needs. *)
+let reclaim_since t mark =
+  let reclaimed = ref 0 in
+  for slot = 0 to t.capacity - 1 do
+    if (not t.slot_free.(slot)) && t.slot_serial.(slot) >= mark then begin
+      free_slot t slot;
+      incr reclaimed
+    end
+  done;
+  !reclaimed
+
+let assert_no_leaks t =
+  let live = in_use t in
+  if live <> 0 then
+    failwith
+      (Printf.sprintf
+         "Mempool.assert_no_leaks: %d buffer(s) of %d still allocated" live t.capacity)

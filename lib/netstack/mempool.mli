@@ -34,3 +34,23 @@ val is_allocated : t -> Packet.t -> bool
     currently allocated. Lets fault-recovery reclaim "whatever the
     failed domain still held" without double-freeing buffers the
     domain had already released. *)
+
+val mark : t -> int
+(** Current allocation watermark. Buffers allocated after a [mark] can
+    be bulk-reclaimed with {!reclaim_since} — the mechanism the
+    isolated pipeline uses to reclaim buffers a stage allocated
+    {e itself} before panicking (its in-flight inputs are reclaimed
+    from the batch snapshot; its own allocations would otherwise
+    leak). *)
+
+val reclaim_since : t -> int -> int
+(** [reclaim_since t m] frees every buffer allocated at or after
+    watermark [m] that is still allocated, returning how many were
+    reclaimed. Safe against double-frees: buffers the failed domain
+    already released are skipped. *)
+
+val assert_no_leaks : t -> unit
+(** Raises [Failure] if any buffer is still allocated — the shard
+    engine's end-of-run leak check (after every batch is either
+    transmitted or reclaimed along a panic path, occupancy must be
+    zero). *)

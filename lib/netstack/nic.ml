@@ -44,8 +44,7 @@ let create ?(driver_seed = 0xD91DL) ~engine ~traffic () =
     tx_packets = 0;
   }
 
-let craft_packet t (p : Packet.t) =
-  let flow = Traffic.next_flow t.traffic in
+let craft_packet_for t (p : Packet.t) (flow : Flow.t) =
   let payload_bytes = Traffic.payload_bytes t.traffic in
   (match flow.Flow.protocol with
   | Flow.Udp -> Packet.craft_udp p ~flow ~payload_bytes ~ttl:64
@@ -76,9 +75,39 @@ let rx_batch t n =
        match Mempool.alloc (Engine.pool t.engine) with
        | None -> raise Exit
        | Some p ->
-         craft_packet t p;
+         craft_packet_for t p (Traffic.next_flow t.traffic);
          Batch.push batch p;
          t.rx_packets <- t.rx_packets + 1
+     done
+   with Exit -> ());
+  (match t.tele with
+  | Some tl -> Telemetry.Counter.add tl.tl_rx (Batch.length batch)
+  | None -> ());
+  batch
+
+let rx_batch_filtered t n ~keep =
+  if n <= 0 then invalid_arg "Nic.rx_batch_filtered: batch size must be positive";
+  let clock = Engine.clock t.engine in
+  let batch = Batch.create ~capacity:n in
+  (try
+     for i = 0 to n - 1 do
+       (* Every queue replays the same generator stream; the RSS hash
+          decides which arrivals land in this queue's ring. Foreign
+          arrivals cost nothing here: the NIC steered them to another
+          queue, whose replica crafts and charges them instead. *)
+       let flow = Traffic.next_flow t.traffic in
+       if keep flow then begin
+         (* Read the rx descriptor ring entry. *)
+         Cycles.Clock.touch clock
+           (Int64.add t.ring_addr (Int64.of_int (i * 16 mod 4096)))
+           ~bytes:16;
+         match Mempool.alloc (Engine.pool t.engine) with
+         | None -> raise Exit
+         | Some p ->
+           craft_packet_for t p flow;
+           Batch.push batch p;
+           t.rx_packets <- t.rx_packets + 1
+       end
      done
    with Exit -> ());
   (match t.tele with

@@ -19,6 +19,16 @@ val rx_batch : t -> int -> Batch.t
 (** [rx_batch t n] produces up to [n] freshly-crafted packets (fewer
     only if the pool runs dry). *)
 
+val rx_batch_filtered : t -> int -> keep:(Flow.t -> bool) -> Batch.t
+(** [rx_batch_filtered t n ~keep] draws exactly [n] arrivals from the
+    generator but crafts (and charges) only those whose flow satisfies
+    [keep] — hardware RSS steering seen from one receive queue. Every
+    shard-queue replica replays the same generator stream with its own
+    [keep], so the union of all queues' batches is exactly the global
+    arrival stream, each flow's packets stay in arrival order, and a
+    queue's workload is independent of how queues are spread over
+    shards. The returned batch may be empty. *)
+
 val tx_batch : t -> Batch.t -> int
 (** Transmit (and release) every packet of the batch; returns the
     count. The batch is left empty. *)

@@ -29,6 +29,7 @@ type tele = {
 
 type t = {
   engine : Engine.t;
+  stage_engine : Engine.t;  (* Tagged: a Tagged view of [engine]; else [engine] *)
   mode : mode;
   prepared : prepared;
   n_stages : int;
@@ -91,8 +92,18 @@ let create ~engine ~mode stages =
     | Direct | Copying | Tagged -> P_calls (Array.of_list stages)
     | Isolated mgr -> P_isolated (mgr, Array.of_list (prepare_isolated mgr stages))
   in
+  (* The mode is part of the pipeline's identity, fixed at creation:
+     a Tagged pipeline owns a Tagged *view* of the engine rather than
+     flipping the shared engine's mode around every batch (which
+     sharded engines would race on). *)
+  let stage_engine =
+    match mode with
+    | Tagged -> Engine.with_mode engine Engine.Tagged
+    | Direct | Copying | Isolated _ -> engine
+  in
   {
     engine;
+    stage_engine;
     mode;
     prepared;
     n_stages = List.length stages;
@@ -144,41 +155,38 @@ let record_stage t i ~in_len ~out_len =
     Telemetry.Counter.add st.st_processed out_len;
     if in_len > out_len then Telemetry.Counter.add st.st_drops (in_len - out_len)
 
-let run_calls t stages batch =
+let exec_calls t stages batch =
   let clock = Engine.clock t.engine in
-  let saved_mode = Engine.mode t.engine in
-  (match t.mode with
-  | Tagged -> Engine.set_mode t.engine Tagged
-  | Direct | Copying | Isolated _ -> ());
-  Fun.protect
-    ~finally:(fun () -> Engine.set_mode t.engine saved_mode)
-    (fun () ->
-      let current = ref batch in
-      Array.iteri
-        (fun i (stage : Stage.t) ->
-          (* Measured before [copy_batch]: a pool-pressure drop during
-             the copy is charged to the stage about to run. *)
-          let in_len = Batch.length !current in
-          (match t.mode with
-          | Copying -> current := copy_batch t.engine !current
-          | Direct | Tagged | Isolated _ -> ());
-          Cycles.Clock.charge clock Call;
-          current := stage.Stage.process t.engine !current;
-          record_stage t i ~in_len ~out_len:(Batch.length !current))
-        stages;
-      Ok !current)
+  let current = ref batch in
+  Array.iteri
+    (fun i (stage : Stage.t) ->
+      (* Measured before [copy_batch]: a pool-pressure drop during
+         the copy is charged to the stage about to run. *)
+      let in_len = Batch.length !current in
+      (match t.mode with
+      | Copying -> current := copy_batch t.stage_engine !current
+      | Direct | Tagged | Isolated _ -> ());
+      Cycles.Clock.charge clock Call;
+      current := stage.Stage.process t.stage_engine !current;
+      record_stage t i ~in_len ~out_len:(Batch.length !current))
+    stages;
+  Ok !current
 
-let run_isolated t cells batch =
+let exec_isolated t cells batch =
+  let pool = Engine.pool t.engine in
   let rec go i batch =
     if i = Array.length cells then Ok batch
     else begin
       let cell = cells.(i) in
       (* Snapshot buffers so they can be reclaimed if the stage panics
-         while owning the batch. *)
+         while owning the batch; the allocation watermark additionally
+         catches buffers the stage allocates itself before panicking. *)
       let in_flight = Batch.packets batch in
+      let watermark = Mempool.mark pool in
       let owned = Linear.Own.create ~label:"batch" batch in
       match
-        Sfi.Rref.invoke_move cell.rref owned (fun stage b -> stage.Stage.process t.engine b)
+        Sfi.Rref.invoke_move cell.rref owned (fun stage b ->
+            stage.Stage.process t.stage_engine b)
       with
       | Ok batch' ->
         record_stage t i ~in_len:(List.length in_flight) ~out_len:(Batch.length batch');
@@ -188,15 +196,17 @@ let run_isolated t cells batch =
         (* The failed domain's resources (here: the in-flight packet
            buffers) are reclaimed by the management plane. Only buffers
            the stage still held are reclaimed — it may already have
-           released some before panicking. *)
-        let pool = Engine.pool t.engine in
+           released some before panicking — plus whatever it allocated
+           after entry (the watermark sweep), which would otherwise
+           leak. *)
         List.iter (fun p -> if Mempool.is_allocated pool p then Mempool.free pool p) in_flight;
+        ignore (Mempool.reclaim_since pool watermark);
         Error e
     end
   in
   go 0 batch
 
-let process t batch =
+let run t batch =
   (match t.tele with
   | Some tl ->
     Telemetry.Counter.incr tl.pt_batches;
@@ -204,8 +214,8 @@ let process t batch =
   | None -> ());
   let body () =
     match t.prepared with
-    | P_calls stages -> run_calls t stages batch
-    | P_isolated (_, cells) -> run_isolated t cells batch
+    | P_calls stages -> exec_calls t stages batch
+    | P_isolated (_, cells) -> exec_isolated t cells batch
   in
   let result =
     match t.tele with

@@ -15,8 +15,10 @@
       boundary crossing deep-copies every packet into a buffer owned by
       the next domain.
     - [Tagged] — shared-heap SFI with per-dereference ownership-tag
-      validation (Mao et al.): stages run with the engine in [Tagged]
-      access mode.
+      validation (Mao et al.): stages run against a [Tagged] {e view}
+      of the engine ({!Engine.with_mode}), built once at pipeline
+      creation — the shared engine's own mode is never mutated, so
+      pipelines on different shards cannot race on it.
 
     A stage panic in [Isolated] mode is contained: the faulting
     domain is marked failed, the caller gets
@@ -39,10 +41,15 @@ val create : engine:Engine.t -> mode:mode -> Stage.t list -> t
 val length : t -> int
 val mode_name : t -> string
 
-val process : t -> Batch.t -> (Batch.t, Sfi.Sfi_error.t) result
-(** Push one batch through all stages. On [Error], the batch's buffers
-    have been released back to the pool (the manager reclaiming the
-    failed domain's resources). *)
+val run : t -> Batch.t -> (Batch.t, Sfi.Sfi_error.t) result
+(** The single entry point: push one batch through all stages, with
+    the behaviour the pipeline's [mode] selects (plain calls,
+    ownership-transferring rref invocations, per-boundary deep copies,
+    or per-dereference tag validation). On [Error] — only possible in
+    [Isolated] mode — every buffer the batch brought in {e and} every
+    buffer the failed stage allocated after entry has been released
+    back to the pool (the manager reclaiming the failed domain's
+    resources). *)
 
 val recover_stage : t -> int -> (unit, string) result
 (** [Isolated] only: recover the i-th stage's domain and re-publish its

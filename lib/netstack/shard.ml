@@ -1,0 +1,200 @@
+type mode = Direct | Isolated | Copying | Tagged
+
+let mode_name = function
+  | Direct -> "direct"
+  | Isolated -> "isolated"
+  | Copying -> "copying"
+  | Tagged -> "tagged"
+
+type spec = {
+  shards : int;
+  queues : int;
+  rounds : int;
+  batch_size : int;
+  seed : int64;
+  flows : int;
+  payload_bytes : int;
+  pool_capacity : int;
+  mode : mode;
+  stages : clock:Cycles.Clock.t -> Stage.t list;
+}
+
+let default_spec ?(shards = 1) ?(queues = 8) ?(rounds = 300) ?(batch_size = 32)
+    ?(seed = 2017L) ?(flows = 1024) ?(payload_bytes = 18) ?(pool_capacity = 512) ~mode
+    ~stages () =
+  { shards; queues; rounds; batch_size; seed; flows; payload_bytes; pool_capacity;
+    mode; stages }
+
+(* One receive-queue replica. All *virtual* state — clock, pool,
+   engine, NIC, pipeline, SFI manager — is per queue, not per shard:
+   a queue's virtual-cycle trajectory is then a function of its packet
+   stream alone, so regrouping queues over a different number of
+   shards cannot change any recorded number. The shard owns the
+   telemetry registry its queues record into, and owns the queues'
+   execution. *)
+type queue_env = {
+  q_id : int;
+  q_clock : Cycles.Clock.t;
+  q_pool : Mempool.t;
+  q_nic : Nic.t;
+  q_pipe : Pipeline.t;
+  mutable q_batches : int;
+  mutable q_packets_out : int;
+  mutable q_failed : int;
+}
+
+type t = {
+  spec : spec;
+  rss : Rss.t;
+  registries : Telemetry.Registry.t array;  (* one per shard *)
+  queue_envs : queue_env array;             (* indexed by queue id *)
+  mutable ran : bool;
+}
+
+type queue_stats = {
+  qs_queue : int;
+  qs_batches : int;
+  qs_packets_out : int;
+  qs_failed : int;
+  qs_cycles : int64;
+}
+
+type result = {
+  r_shards : int;
+  r_queues : int;
+  r_batches : int;
+  r_packets_out : int;
+  r_failed : int;
+  r_queue_stats : queue_stats list;
+  r_telemetry : Telemetry.Registry.t;
+}
+
+let shard_of_queue spec q = q mod spec.shards
+
+let make_queue_env spec registry q_id =
+  let clock = Cycles.Clock.create () in
+  let pool = Mempool.create ~clock ~capacity:spec.pool_capacity () in
+  let engine = Engine.create ~clock ~pool ~telemetry:registry () in
+  (* Every queue replays the same seeded generator stream (see
+     Nic.rx_batch_filtered), so the streams stay aligned and the RSS
+     predicate alone decides ownership. *)
+  let rng = Cycles.Rng.create spec.seed in
+  let traffic =
+    Traffic.create ~rng ~payload_bytes:spec.payload_bytes
+      (Traffic.Uniform { flows = spec.flows })
+  in
+  let nic = Nic.create ~engine ~traffic () in
+  let mode =
+    match spec.mode with
+    | Direct -> Pipeline.Direct
+    | Copying -> Pipeline.Copying
+    | Tagged -> Pipeline.Tagged
+    | Isolated -> Pipeline.Isolated (Sfi.Manager.create ~clock ~telemetry:registry ())
+  in
+  let pipe = Pipeline.create ~engine ~mode (spec.stages ~clock) in
+  {
+    q_id;
+    q_clock = clock;
+    q_pool = pool;
+    q_nic = nic;
+    q_pipe = pipe;
+    q_batches = 0;
+    q_packets_out = 0;
+    q_failed = 0;
+  }
+
+let create spec =
+  if spec.shards <= 0 then invalid_arg "Shard.create: shards must be positive";
+  if spec.queues < spec.shards then invalid_arg "Shard.create: fewer queues than shards";
+  if spec.rounds <= 0 then invalid_arg "Shard.create: rounds must be positive";
+  if spec.batch_size <= 0 then invalid_arg "Shard.create: batch_size must be positive";
+  if spec.pool_capacity < 2 * spec.batch_size then
+    invalid_arg "Shard.create: pool must hold at least two batches";
+  let rss = Rss.create ~queues:spec.queues () in
+  let registries = Array.init spec.shards (fun _ -> Telemetry.Registry.create ()) in
+  (* Queues are built in ascending id order (stage constructors may
+     count on it) and record into their owning shard's registry. *)
+  let queue_envs =
+    Array.init spec.queues (fun q -> make_queue_env spec registries.(shard_of_queue spec q) q)
+  in
+  { spec; rss; registries; queue_envs; ran = false }
+
+(* One round of one queue: up to batch_size global arrivals, of which
+   this queue crafts and processes its RSS share, run to completion.
+   A queue with no arrivals in the round does nothing — just like a
+   hardware queue whose ring stayed empty. *)
+let run_queue_round t q =
+  let b =
+    Nic.rx_batch_filtered q.q_nic t.spec.batch_size ~keep:(fun f ->
+        Rss.queue t.rss f = q.q_id)
+  in
+  if not (Batch.is_empty b) then begin
+    q.q_batches <- q.q_batches + 1;
+    match Pipeline.run q.q_pipe b with
+    | Ok out -> q.q_packets_out <- q.q_packets_out + Nic.tx_batch q.q_nic out
+    | Error _ ->
+      q.q_failed <- q.q_failed + 1;
+      (* The batch's buffers were reclaimed by the pipeline; restore
+         service so later rounds are served (availability semantics). *)
+      (match Pipeline.failed_stage q.q_pipe with
+      | Some i -> (
+        match Pipeline.recover_stage q.q_pipe i with
+        | Ok () -> ()
+        | Error msg -> failwith ("Shard.run: recovery failed: " ^ msg))
+      | None -> ())
+  end
+
+let run_shard t s =
+  let owned =
+    Array.to_list (Array.of_seq (Seq.filter (fun q -> shard_of_queue t.spec q = s)
+                                   (Seq.init t.spec.queues Fun.id)))
+  in
+  for _ = 1 to t.spec.rounds do
+    List.iter (fun q -> run_queue_round t t.queue_envs.(q)) owned
+  done
+
+let run t =
+  if t.ran then invalid_arg "Shard.run: a sharded engine is single-shot";
+  t.ran <- true;
+  (* Shard 0's queues run on the calling domain; the rest get their own
+     OCaml domain. Queue state is owned exclusively by its shard for
+     the whole run — the Oxide-style guarantee, delivered by
+     construction: no two domains ever touch the same queue. *)
+  let workers =
+    List.init (t.spec.shards - 1) (fun i ->
+        let s = i + 1 in
+        Domain.spawn (fun () -> run_shard t s))
+  in
+  run_shard t 0;
+  List.iter Domain.join workers;
+  (* Leak check: every buffer was either transmitted or reclaimed along
+     a panic path; anything still allocated is a leak. *)
+  Array.iter (fun q -> Mempool.assert_no_leaks q.q_pool) t.queue_envs;
+  (* The deterministic reduction. Registries merge associatively and
+     commutatively (name-sorted, counters add, histograms add
+     bucket-wise), and every per-queue number is independent of the
+     queue→shard assignment, so the merged registry — and its rendered
+     table — is byte-identical for any shard count. *)
+  let merged = Telemetry.Registry.merge (Array.to_list t.registries) in
+  let queue_stats =
+    Array.to_list
+      (Array.map
+         (fun q ->
+           {
+             qs_queue = q.q_id;
+             qs_batches = q.q_batches;
+             qs_packets_out = q.q_packets_out;
+             qs_failed = q.q_failed;
+             qs_cycles = Cycles.Clock.now q.q_clock;
+           })
+         t.queue_envs)
+  in
+  {
+    r_shards = t.spec.shards;
+    r_queues = t.spec.queues;
+    r_batches = List.fold_left (fun a q -> a + q.qs_batches) 0 queue_stats;
+    r_packets_out = List.fold_left (fun a q -> a + q.qs_packets_out) 0 queue_stats;
+    r_failed = List.fold_left (fun a q -> a + q.qs_failed) 0 queue_stats;
+    r_queue_stats = queue_stats;
+    r_telemetry = merged;
+  }

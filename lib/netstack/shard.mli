@@ -1,0 +1,102 @@
+(** The sharded multicore packet engine.
+
+    NetBricks pins one run-to-completion pipeline per core and lets the
+    NIC's RSS hash spread flows across cores; nothing is shared between
+    cores on the fast path, so scaling is linear until memory bandwidth
+    runs out. This module reproduces that architecture on OCaml 5
+    domains: [shards] domains each own a disjoint set of RSS receive
+    queues, and every queue is a complete shared-nothing replica of the
+    single-core engine — its own virtual-cycle clock, mempool, cache
+    simulator, NIC and pipeline (plus its own SFI manager in
+    [Isolated] mode).
+
+    {2 Determinism}
+
+    The replication unit for virtual state is the {e queue}, not the
+    shard. Each queue replays the same seeded arrival stream and keeps
+    only the flows RSS steers to it ({!Nic.rx_batch_filtered}), so a
+    queue's entire virtual trajectory — batches, cycles, cache misses,
+    telemetry — depends only on the queue count, never on how queues
+    are distributed over domains. Per-shard telemetry registries are
+    then merged by the associative, name-sorted
+    {!Telemetry.Registry.merge}; the aggregate tables a run renders are
+    therefore byte-identical for any shard count. Wall-clock time is
+    the only thing sharding changes — which is exactly the linear-
+    scaling claim under test. *)
+
+type mode = Direct | Isolated | Copying | Tagged
+(** Like {!Pipeline.mode}, but constructor-only: each queue builds its
+    own {!Sfi.Manager.t} for [Isolated], so the manager cannot be
+    supplied from outside. *)
+
+val mode_name : mode -> string
+
+type spec = {
+  shards : int;        (** Domains to run; 1 = single-core baseline. *)
+  queues : int;        (** RSS receive queues (fixed as shards vary!). *)
+  rounds : int;        (** Scheduling rounds. *)
+  batch_size : int;    (** Global arrivals per round. *)
+  seed : int64;        (** Traffic seed, shared by every queue replica. *)
+  flows : int;         (** Uniform flow population. *)
+  payload_bytes : int;
+  pool_capacity : int; (** Buffers in each queue's mempool. *)
+  mode : mode;
+  stages : clock:Cycles.Clock.t -> Stage.t list;
+      (** Stage constructor, called once per queue with that queue's
+          clock. Must build fresh stage state each call — stages are
+          never shared across queues (or domains). *)
+}
+
+val default_spec :
+  ?shards:int ->
+  ?queues:int ->
+  ?rounds:int ->
+  ?batch_size:int ->
+  ?seed:int64 ->
+  ?flows:int ->
+  ?payload_bytes:int ->
+  ?pool_capacity:int ->
+  mode:mode ->
+  stages:(clock:Cycles.Clock.t -> Stage.t list) ->
+  unit ->
+  spec
+(** Defaults: 1 shard, 8 queues, 300 rounds, batch 32, seed 2017,
+    1024 flows, 18-byte payloads, 512-buffer pools. *)
+
+type t
+
+val create : spec -> t
+(** Builds every queue replica (ascending queue id). Raises
+    [Invalid_argument] if [shards] ≤ 0, [queues] < [shards], [rounds]
+    or [batch_size] ≤ 0, or the pool holds fewer than two batches.
+    Queue [q] belongs to shard [q mod shards]. *)
+
+type queue_stats = {
+  qs_queue : int;
+  qs_batches : int;
+  qs_packets_out : int;
+  qs_failed : int;
+  qs_cycles : int64;  (** The queue's final virtual-cycle count. *)
+}
+
+type result = {
+  r_shards : int;
+  r_queues : int;
+  r_batches : int;      (** Non-empty batches processed, all queues. *)
+  r_packets_out : int;
+  r_failed : int;       (** Batches lost to contained stage panics. *)
+  r_queue_stats : queue_stats list;  (** Ascending queue id. *)
+  r_telemetry : Telemetry.Registry.t;
+      (** The deterministic reduction of all shards' registries. *)
+}
+
+val run : t -> result
+(** Run the engine to completion: shard 0 on the calling domain, the
+    rest on freshly spawned domains, each shard iterating its queues in
+    ascending id order for [rounds] rounds. Contained stage panics
+    ([Isolated] mode) are recovered in place and counted in
+    [r_failed]/[qs_failed]. After the domains join, every queue pool is
+    checked for buffer leaks ({!Mempool.assert_no_leaks} — a failure
+    here is a bug in the panic reclaim path) and the per-shard
+    registries are merged. Single-shot: a second call raises
+    [Invalid_argument]. *)

@@ -108,6 +108,24 @@ let percentile t p =
 
 let bucket_counts t = Array.map Atomic.get t.buckets
 
+(* Bucket-wise addition is exact: the merged histogram is
+   indistinguishable from one that observed the union of both sample
+   streams, so quantiles of a merge do not depend on how the samples
+   were partitioned. No cycles are charged — merging is a
+   management-plane operation, not a recorded event. *)
+let merge_into ~into src =
+  if Atomic.get src.count > 0 then begin
+    Array.iteri
+      (fun i b ->
+        let v = Atomic.get b in
+        if v > 0 then ignore (Atomic.fetch_and_add into.buckets.(i) v))
+      src.buckets;
+    ignore (Atomic.fetch_and_add into.count (Atomic.get src.count));
+    ignore (Atomic.fetch_and_add into.sum (Atomic.get src.sum));
+    atomic_min into.mn (Atomic.get src.mn);
+    atomic_max into.mx (Atomic.get src.mx)
+  end
+
 let reset t =
   Array.iter (fun b -> Atomic.set b 0) t.buckets;
   Atomic.set t.count 0;

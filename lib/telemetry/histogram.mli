@@ -30,6 +30,15 @@ val bucket_counts : t -> int array
 (** Snapshot of raw bucket occupancy (for tests: the bucket total must
     equal {!count} — a torn bucket would break that invariant). *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds [src]'s raw state (buckets, count, sum,
+    min, max) into [into], leaving [src] untouched. The merge is exact
+    — equivalent to [into] having observed [src]'s samples directly —
+    so it is associative and commutative, and quantiles of a merged
+    histogram are independent of how samples were partitioned across
+    histograms (the per-shard telemetry reduction relies on this).
+    Charges nothing. *)
+
 val index : int -> int
 (** Bucket index of a value (exposed for tests). *)
 

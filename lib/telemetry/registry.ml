@@ -90,6 +90,24 @@ let reset t =
           | Histogram h -> Histogram.reset h)
         t.tbl)
 
+(* Metrics are visited in sorted name order and find-or-created in the
+   destination, so merging a list of registries in any grouping yields
+   the same destination contents: counters/gauges add, histograms add
+   bucket-wise (see Histogram.merge_into). *)
+let merge_into ~into src =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Counter.add (counter into name) (Counter.value c)
+      | Gauge g -> Gauge.add (gauge into name) (Gauge.value g)
+      | Histogram h -> Histogram.merge_into ~into:(histogram into name) h)
+    (metrics src)
+
+let merge regs =
+  let into = create () in
+  List.iter (fun r -> merge_into ~into r) regs;
+  into
+
 let sum_matching t ~prefix ~suffix =
   List.fold_left
     (fun acc (name, m) ->

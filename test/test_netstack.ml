@@ -219,6 +219,39 @@ let test_mempool_lifo_reuse () =
   let q = Mempool.alloc_exn pool in
   Alcotest.(check bool) "LIFO returns the hot buffer" true (Int64.equal addr q.Packet.addr)
 
+let test_mempool_mark_reclaim () =
+  let clock = Cycles.Clock.create () in
+  let pool = Mempool.create ~clock ~capacity:8 () in
+  let a = Mempool.alloc_exn pool in
+  let b = Mempool.alloc_exn pool in
+  let mark = Mempool.mark pool in
+  let c = Mempool.alloc_exn pool in
+  let d = Mempool.alloc_exn pool in
+  Alcotest.(check int) "two reclaimed" 2 (Mempool.reclaim_since pool mark);
+  Alcotest.(check bool) "pre-mark survives" true
+    (Mempool.is_allocated pool a && Mempool.is_allocated pool b);
+  Alcotest.(check bool) "post-mark freed" false
+    (Mempool.is_allocated pool c || Mempool.is_allocated pool d);
+  Alcotest.(check int) "idempotent" 0 (Mempool.reclaim_since pool mark);
+  (* Serials are monotonic, so the watermark sweeps anything allocated
+     at-or-after it — including reused slots. *)
+  let e = Mempool.alloc_exn pool in
+  Alcotest.(check int) "reused slot swept by old mark" 1 (Mempool.reclaim_since pool mark);
+  Alcotest.(check bool) "e freed" false (Mempool.is_allocated pool e)
+
+let test_mempool_assert_no_leaks () =
+  let clock = Cycles.Clock.create () in
+  let pool = Mempool.create ~clock ~capacity:4 () in
+  Mempool.assert_no_leaks pool;
+  let p = Mempool.alloc_exn pool in
+  (match Mempool.assert_no_leaks pool with
+  | () -> Alcotest.fail "leak not detected"
+  | exception Failure msg ->
+    Alcotest.(check string) "leak message"
+      "Mempool.assert_no_leaks: 1 buffer(s) of 4 still allocated" msg);
+  Mempool.free pool p;
+  Mempool.assert_no_leaks pool
+
 (* ------------------------------------------------------------------ *)
 (* Traffic                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -441,7 +474,7 @@ let test_filter_payload_scan_charges () =
 let run_simple_pipeline mode engine =
   let _nic, batch = make_loaded_batch engine 16 in
   let pipe = Pipeline.create ~engine ~mode [ Filters.null; Filters.ttl_decrement; Filters.null ] in
-  match Pipeline.process pipe batch with
+  match Pipeline.run pipe batch with
   | Ok out -> (pipe, out)
   | Error e -> Alcotest.failf "pipeline failed: %s" (Sfi.Sfi_error.to_string e)
 
@@ -473,7 +506,7 @@ let test_pipeline_tagged_counts_checks () =
   let _pipe, out = run_simple_pipeline Pipeline.Tagged engine in
   Alcotest.(check int) "packets preserved" 16 (Batch.length out);
   Alcotest.(check bool) "tag validations happened" true (Engine.tag_checks engine > 0);
-  Alcotest.(check bool) "mode restored after run" true (Engine.mode engine = Engine.Untagged)
+  Alcotest.(check bool) "base engine stays untagged" true (Engine.mode engine = Engine.Untagged)
 
 let test_pipeline_isolation_contains_fault () =
   let engine = make_env () in
@@ -483,12 +516,12 @@ let test_pipeline_isolation_contains_fault () =
       [ Filters.null; Filters.fault_injector ~panic_after:2; Filters.null ]
   in
   let _nic, b1 = make_loaded_batch engine 8 in
-  (match Pipeline.process pipe b1 with
+  (match Pipeline.run pipe b1 with
   | Ok out -> Alcotest.(check int) "first batch fine" 8 (Batch.length out)
   | Error e -> Alcotest.failf "unexpected: %s" (Sfi.Sfi_error.to_string e));
   (* Buffers of batch 1 are still held (stage returned them to us). *)
   let _nic2, b2 = make_loaded_batch engine 8 in
-  (match Pipeline.process pipe b2 with
+  (match Pipeline.run pipe b2 with
   | Error (Sfi.Sfi_error.Domain_failed _) -> ()
   | Ok _ -> Alcotest.fail "second batch should crash the injector"
   | Error e -> Alcotest.failf "wrong error: %s" (Sfi.Sfi_error.to_string e));
@@ -497,7 +530,7 @@ let test_pipeline_isolation_contains_fault () =
   Alcotest.(check int) "no buffer leak" 8 (Mempool.in_use (Engine.pool engine));
   (* Third batch is rejected while the stage is down... *)
   let _nic3, b3 = make_loaded_batch engine 8 in
-  (match Pipeline.process pipe b3 with
+  (match Pipeline.run pipe b3 with
   | Error Sfi.Sfi_error.Domain_unavailable -> ()
   | _ -> Alcotest.fail "stage down: expected Domain_unavailable");
   (* ... recovery restores service transparently. *)
@@ -506,7 +539,7 @@ let test_pipeline_isolation_contains_fault () =
   | Error msg -> Alcotest.failf "recovery failed: %s" msg);
   Alcotest.(check (option int)) "no failed stage" None (Pipeline.failed_stage pipe);
   let _nic4, b4 = make_loaded_batch engine 8 in
-  (match Pipeline.process pipe b4 with
+  (match Pipeline.run pipe b4 with
   | Error (Sfi.Sfi_error.Domain_failed _) ->
     (* The injector crash-loops (panic_after already exceeded): that is
        its documented behaviour. Service control works; the filter is
@@ -515,6 +548,30 @@ let test_pipeline_isolation_contains_fault () =
   | Ok _ -> Alcotest.fail "injector should still be buggy"
   | Error e -> Alcotest.failf "wrong error: %s" (Sfi.Sfi_error.to_string e))
 
+let test_pipeline_panic_reclaims_stage_allocations () =
+  (* A stage that allocates scratch buffers and then panics must not
+     leak them: the pipeline's panic path reclaims everything allocated
+     after batch entry (watermark), plus the in-flight batch itself. *)
+  let engine = make_env () in
+  let mgr = Sfi.Manager.create () in
+  let greedy =
+    Stage.make ~name:"greedy" (fun eng _b ->
+        for _ = 1 to 3 do
+          ignore (Mempool.alloc_exn (Engine.pool eng))
+        done;
+        Sfi.Panic.panic "greedy: crashed holding buffers")
+  in
+  let pipe = Pipeline.create ~engine ~mode:(Pipeline.Isolated mgr) [ Filters.null; greedy ] in
+  let _nic, b = make_loaded_batch engine 8 in
+  Alcotest.(check int) "batch in flight" 8 (Mempool.in_use (Engine.pool engine));
+  (match Pipeline.run pipe b with
+  | Error (Sfi.Sfi_error.Domain_failed _) -> ()
+  | Ok _ -> Alcotest.fail "greedy stage should have panicked"
+  | Error e -> Alcotest.failf "wrong error: %s" (Sfi.Sfi_error.to_string e));
+  Alcotest.(check int) "batch and scratch buffers all reclaimed" 0
+    (Mempool.in_use (Engine.pool engine));
+  Mempool.assert_no_leaks (Engine.pool engine)
+
 let test_pipeline_direct_panic_propagates () =
   let engine = make_env () in
   let pipe =
@@ -522,7 +579,7 @@ let test_pipeline_direct_panic_propagates () =
       [ Filters.fault_injector ~panic_after:1 ]
   in
   let _nic, b = make_loaded_batch engine 4 in
-  match Pipeline.process pipe b with
+  match Pipeline.run pipe b with
   | exception Sfi.Panic.Panic _ -> ()
   | _ -> Alcotest.fail "direct mode has no containment: panic must propagate"
 
@@ -541,7 +598,7 @@ let test_pipeline_stats () =
   let nic, _ = make_loaded_batch engine 1 in
   let feed () =
     let b = Nic.rx_batch nic 4 in
-    match Pipeline.process pipe b with
+    match Pipeline.run pipe b with
     | Ok out -> ignore (Nic.tx_batch nic out)
     | Error _ -> ()
   in
@@ -565,7 +622,7 @@ let test_pipeline_isolated_overhead_band () =
     let total = ref 0L in
     for _ = 1 to 30 do
       let b = Nic.rx_batch nic 8 in
-      let result, cycles = Cycles.Clock.measure clock (fun () -> Pipeline.process pipe b) in
+      let result, cycles = Cycles.Clock.measure clock (fun () -> Pipeline.run pipe b) in
       (match result with
       | Ok out -> ignore (Nic.tx_batch nic out)
       | Error e -> Alcotest.failf "failed: %s" (Sfi.Sfi_error.to_string e));
@@ -589,7 +646,7 @@ let test_pipeline_isolated_overhead_band () =
     let total = ref 0L in
     for _ = 1 to 30 do
       let b = Nic.rx_batch nic 8 in
-      let result, cycles = Cycles.Clock.measure clock (fun () -> Pipeline.process pipe b) in
+      let result, cycles = Cycles.Clock.measure clock (fun () -> Pipeline.run pipe b) in
       (match result with
       | Ok out -> ignore (Nic.tx_batch nic out)
       | Error e -> Alcotest.failf "failed: %s" (Sfi.Sfi_error.to_string e));
@@ -882,7 +939,7 @@ let test_full_nf_chain_isolated () =
   let forwarded = ref 0 in
   for _ = 1 to 50 do
     let b = Nic.rx_batch nic 16 in
-    match Pipeline.process pipe b with
+    match Pipeline.run pipe b with
     | Ok out ->
       Batch.iter
         (fun p ->
@@ -948,6 +1005,8 @@ let () =
           Alcotest.test_case "double free" `Quick test_mempool_double_free;
           Alcotest.test_case "foreign packet" `Quick test_mempool_foreign_packet;
           Alcotest.test_case "LIFO reuse" `Quick test_mempool_lifo_reuse;
+          Alcotest.test_case "mark/reclaim watermark" `Quick test_mempool_mark_reclaim;
+          Alcotest.test_case "leak assertion" `Quick test_mempool_assert_no_leaks;
         ] );
       ( "traffic",
         [
@@ -986,6 +1045,8 @@ let () =
           Alcotest.test_case "copying equivalent" `Quick test_pipeline_copying_equivalent;
           Alcotest.test_case "tagged counts checks" `Quick test_pipeline_tagged_counts_checks;
           Alcotest.test_case "isolation contains fault" `Quick test_pipeline_isolation_contains_fault;
+          Alcotest.test_case "panic reclaims stage allocations" `Quick
+            test_pipeline_panic_reclaims_stage_allocations;
           Alcotest.test_case "direct panic propagates" `Quick test_pipeline_direct_panic_propagates;
           Alcotest.test_case "empty stage list" `Quick test_pipeline_empty_stage_list_rejected;
           Alcotest.test_case "stats" `Quick test_pipeline_stats;
