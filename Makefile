@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-quick stats scale scale-determinism examples doc clean loc
+.PHONY: all build test bench bench-quick stats scale scale-determinism \
+	storm storm-determinism examples doc clean loc
 
 all: build test
 
@@ -32,6 +33,26 @@ scale-determinism:
 	diff /tmp/scale-1.txt /tmp/scale-2.txt
 	diff /tmp/scale-1.txt /tmp/scale-4.txt
 	@echo "scale determinism: OK (1/2/4 shards byte-identical)"
+
+storm:
+	dune exec bin/repro.exe -- storm
+
+# E15's determinism claims, mirrored by CI: for every restart policy the
+# storm's counters + telemetry must (a) replay byte-identically and
+# (b) not change when the queues are spread over 1, 2 or 4 domains.
+storm-determinism:
+	@for p in restart backoff breaker degrade; do \
+	  echo "== $$p: replay =="; \
+	  dune exec bin/repro.exe -- storm --policy $$p --stats-only > /tmp/storm-$$p-a.txt; \
+	  dune exec bin/repro.exe -- storm --policy $$p --stats-only > /tmp/storm-$$p-b.txt; \
+	  diff /tmp/storm-$$p-a.txt /tmp/storm-$$p-b.txt || exit 1; \
+	  echo "== $$p: shards =="; \
+	  for n in 2 4; do \
+	    dune exec bin/repro.exe -- storm --policy $$p --shards $$n --stats-only > /tmp/storm-$$p-$$n.txt; \
+	    diff /tmp/storm-$$p-a.txt /tmp/storm-$$p-$$n.txt || exit 1; \
+	  done; \
+	done
+	@echo "storm determinism: OK (two runs and 1/2/4 shards byte-identical, all policies)"
 
 examples:
 	dune exec examples/quickstart.exe

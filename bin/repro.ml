@@ -192,6 +192,102 @@ let scale_cmd =
   Cmd.v (Cmd.info "scale" ~doc)
     Term.(const run $ shards $ rounds $ batch $ queues $ mode $ stats_only)
 
+let storm_cmd =
+  let doc =
+    "Run the deterministic fault storm (E15): the sharded isolated engine under a seeded \
+     fault plan, service gated by a supervisor applying the selected restart policy. Every \
+     reported count is a pure function of the seeds and invariant across shard counts."
+  in
+  let policy_conv =
+    Arg.enum
+      [
+        ("restart", Faultinj.Restart.Immediate);
+        ("backoff", List.nth Experiments.Storm.default_policies 1);
+        ("breaker", List.nth Experiments.Storm.default_policies 2);
+        ("degrade", Faultinj.Restart.Degrade);
+      ]
+  in
+  let policy =
+    let doc = "Restrict to one restart policy: restart, backoff, breaker, or degrade." in
+    Arg.(value & opt (some policy_conv) None & info [ "policy"; "p" ] ~docv:"POLICY" ~doc)
+  in
+  let shards =
+    let doc = "Shard (domain) count the queues are spread over." in
+    Arg.(value & opt int 1 & info [ "shards"; "n" ] ~docv:"N" ~doc)
+  in
+  let queues =
+    let doc = "RSS receive queues (fixed as shards vary)." in
+    Arg.(value & opt int 8 & info [ "queues" ] ~docv:"N" ~doc)
+  in
+  let rounds =
+    let doc = "Scheduling rounds per queue." in
+    Arg.(value & opt int Experiments.Storm.default_rounds & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let batch =
+    let doc = "Global arrivals per round." in
+    Arg.(value & opt int 16 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let rate =
+    let doc = "Poisson fault rate per queue round, in [0, 1]." in
+    Arg.(value & opt float Experiments.Storm.default_rate & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let seed =
+    let doc = "Fault-plan seed (the traffic seed is fixed)." in
+    Arg.(value & opt int64 4242L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let stats_only =
+    let doc =
+      "Print only the merged telemetry table and the deterministic counters of each run (no \
+       wall-clock anywhere), so runs — and shard counts — can be diffed byte-for-byte."
+    in
+    Arg.(value & flag & info [ "stats-only" ] ~doc)
+  in
+  let run policy shards queues rounds batch rate seed stats_only =
+    if shards <= 0 || shards > queues then begin
+      Printf.eprintf "repro storm: invalid shard count %d (need 1 <= shards <= queues = %d)\n"
+        shards queues;
+      exit 1
+    end;
+    if rounds <= 0 || batch <= 0 || queues <= 0 then begin
+      prerr_endline "repro storm: --rounds, --batch and --queues must be positive";
+      exit 1
+    end;
+    if rate < 0.0 || rate > 1.0 then begin
+      prerr_endline "repro storm: --rate must be in [0, 1]";
+      exit 1
+    end;
+    let policies =
+      match policy with Some p -> [ p ] | None -> Experiments.Storm.default_policies
+    in
+    if stats_only then
+      List.iter
+        (fun policy ->
+          let r, restores =
+            Experiments.Storm.run_one ~queues ~rounds ~batch_size:batch ~rate
+              ~fault_seed:seed ~shards ~policy ()
+          in
+          let name = Faultinj.Restart.policy_name policy in
+          (* Deliberately no shard count anywhere: this block must diff
+             clean across shard counts and across repeated runs. *)
+          Printf.printf
+            "storm counts (%s): crafted=%d served=%d degraded=%d dropped=%d injected=%d \
+             restarts=%d restores=%d\n"
+            name r.Netstack.Shard.r_crafted r.Netstack.Shard.r_served
+            r.Netstack.Shard.r_degraded r.Netstack.Shard.r_dropped
+            r.Netstack.Shard.r_injected r.Netstack.Shard.r_restarts restores;
+          Telemetry.Render.print
+            ~title:(Printf.sprintf "storm telemetry (%s)" name)
+            r.Netstack.Shard.r_telemetry;
+          print_newline ())
+        policies
+    else
+      Experiments.Storm.print
+        (Experiments.Storm.run ~policies ~queues ~rounds ~batch_size:batch ~rate
+           ~fault_seed:seed ~shards ())
+  in
+  Cmd.v (Cmd.info "storm" ~doc)
+    Term.(const run $ policy $ shards $ queues $ rounds $ batch $ rate $ seed $ stats_only)
+
 let verify_cmd =
   let doc =
     "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
@@ -262,4 +358,5 @@ let () =
     "Reproduce the evaluation of 'System Programming in Rust: Beyond Safety' (HotOS '17)"
   in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd; scale_cmd; verify_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd; scale_cmd; storm_cmd; verify_cmd ]))

@@ -106,6 +106,14 @@ let all =
           Scaling.print (Scaling.run ~modes ~rounds ()));
     };
     {
+      id = "storm";
+      description = "E15 (extension): deterministic fault storm vs restart policy";
+      run =
+        (fun ~quick ->
+          let rounds = if quick then 150 else Storm.default_rounds in
+          Storm.print (Storm.run ~rounds ()));
+    };
+    {
       id = "ablations";
       description = "A1-A3: design-choice ablations";
       run =

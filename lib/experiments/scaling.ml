@@ -17,8 +17,8 @@ let default_seed = 2017L
 
 (* The Figure-2 processing pipeline (checksum + TTL), built fresh per
    queue; the stages are stateless, so a constructor ignoring the
-   queue clock is deterministic by construction. *)
-let default_stages ~clock:_ =
+   queue context is deterministic by construction. *)
+let default_stages (_ : Netstack.Shard.queue_ctx) =
   [ Netstack.Filters.checksum_verify; Netstack.Filters.ttl_decrement ]
 
 let digest_of registry =

@@ -28,7 +28,7 @@ type row = {
   deterministic : bool;  (** [digest] equals the 1-shard digest. *)
 }
 
-val default_stages : clock:Cycles.Clock.t -> Netstack.Stage.t list
+val default_stages : Netstack.Shard.queue_ctx -> Netstack.Stage.t list
 (** Checksum-verify + TTL-decrement, fresh per queue. *)
 
 val default_rounds : int

@@ -22,6 +22,7 @@ type stage_tele = {
 type tele = {
   pt_batches : Telemetry.Counter.t;
   pt_failed_batches : Telemetry.Counter.t;
+  pt_degraded_batches : Telemetry.Counter.t;
   pt_packets_in : Telemetry.Counter.t;
   pt_batch_span : Telemetry.Span.t;
   pt_stages : stage_tele array;
@@ -33,9 +34,12 @@ type t = {
   mode : mode;
   prepared : prepared;
   n_stages : int;
+  skipped : bool array;  (* degraded stages the batch routes around *)
   tele : tele option;
   mutable batches_ok : int;
   mutable batches_failed : int;
+  mutable batches_degraded : int;
+  mutable last_error : int option;
 }
 
 let prepare_isolated mgr stages =
@@ -69,6 +73,7 @@ let make_tele engine stages =
       {
         pt_batches = Telemetry.Scope.counter scope "batches";
         pt_failed_batches = Telemetry.Scope.counter scope "failed_batches";
+        pt_degraded_batches = Telemetry.Scope.counter scope "degraded_batches";
         pt_packets_in = Telemetry.Scope.counter scope "packets_in";
         pt_batch_span =
           Telemetry.Span.create ~clock:(Engine.clock engine)
@@ -107,9 +112,12 @@ let create ~engine ~mode stages =
     mode;
     prepared;
     n_stages = List.length stages;
+    skipped = Array.make (List.length stages) false;
     tele = make_tele engine stages;
     batches_ok = 0;
     batches_failed = 0;
+    batches_degraded = 0;
+    last_error = None;
   }
 
 let length t = t.n_stages
@@ -160,15 +168,17 @@ let exec_calls t stages batch =
   let current = ref batch in
   Array.iteri
     (fun i (stage : Stage.t) ->
-      (* Measured before [copy_batch]: a pool-pressure drop during
-         the copy is charged to the stage about to run. *)
-      let in_len = Batch.length !current in
-      (match t.mode with
-      | Copying -> current := copy_batch t.stage_engine !current
-      | Direct | Tagged | Isolated _ -> ());
-      Cycles.Clock.charge clock Call;
-      current := stage.Stage.process t.stage_engine !current;
-      record_stage t i ~in_len ~out_len:(Batch.length !current))
+      if not t.skipped.(i) then begin
+        (* Measured before [copy_batch]: a pool-pressure drop during
+           the copy is charged to the stage about to run. *)
+        let in_len = Batch.length !current in
+        (match t.mode with
+        | Copying -> current := copy_batch t.stage_engine !current
+        | Direct | Tagged | Isolated _ -> ());
+        Cycles.Clock.charge clock Call;
+        current := stage.Stage.process t.stage_engine !current;
+        record_stage t i ~in_len ~out_len:(Batch.length !current)
+      end)
     stages;
   Ok !current
 
@@ -176,6 +186,7 @@ let exec_isolated t cells batch =
   let pool = Engine.pool t.engine in
   let rec go i batch =
     if i = Array.length cells then Ok batch
+    else if t.skipped.(i) then go (i + 1) batch
     else begin
       let cell = cells.(i) in
       (* Snapshot buffers so they can be reclaimed if the stage panics
@@ -192,6 +203,7 @@ let exec_isolated t cells batch =
         record_stage t i ~in_len:(List.length in_flight) ~out_len:(Batch.length batch');
         go (i + 1) batch'
       | Error e ->
+        t.last_error <- Some i;
         record_stage t i ~in_len:(List.length in_flight) ~out_len:0;
         (* The failed domain's resources (here: the in-flight packet
            buffers) are reclaimed by the management plane. Only buffers
@@ -207,6 +219,7 @@ let exec_isolated t cells batch =
   go 0 batch
 
 let run t batch =
+  t.last_error <- None;
   (match t.tele with
   | Some tl ->
     Telemetry.Counter.incr tl.pt_batches;
@@ -223,7 +236,14 @@ let run t batch =
     | None -> body ()
   in
   (match result with
-  | Ok _ -> t.batches_ok <- t.batches_ok + 1
+  | Ok _ ->
+    t.batches_ok <- t.batches_ok + 1;
+    if Array.exists Fun.id t.skipped then begin
+      t.batches_degraded <- t.batches_degraded + 1;
+      match t.tele with
+      | Some tl -> Telemetry.Counter.incr tl.pt_degraded_batches
+      | None -> ()
+    end
   | Error _ ->
     (match t.tele with
     | Some tl -> Telemetry.Counter.incr tl.pt_failed_batches
@@ -251,8 +271,33 @@ let failed_stage t =
     in
     scan 0
 
+let isolated_cells op t =
+  match t.prepared with
+  | P_calls _ -> invalid_arg (Printf.sprintf "Pipeline.%s: pipeline is not isolated" op)
+  | P_isolated (_, cells) -> cells
+
+let stage_domain t i =
+  let cells = isolated_cells "stage_domain" t in
+  if i < 0 || i >= Array.length cells then invalid_arg "Pipeline.stage_domain: bad index";
+  cells.(i).domain
+
+let revoke_stage t i =
+  let cells = isolated_cells "revoke_stage" t in
+  if i < 0 || i >= Array.length cells then invalid_arg "Pipeline.revoke_stage: bad index";
+  Sfi.Rref.revoke cells.(i).rref
+
+let set_stage_skipped t i v =
+  if i < 0 || i >= t.n_stages then invalid_arg "Pipeline.set_stage_skipped: bad index";
+  t.skipped.(i) <- v
+
+let stage_skipped t i =
+  if i < 0 || i >= t.n_stages then invalid_arg "Pipeline.stage_skipped: bad index";
+  t.skipped.(i)
+
+let last_error_stage t = t.last_error
 let batches_ok t = t.batches_ok
 let batches_failed t = t.batches_failed
+let batches_degraded t = t.batches_degraded
 
 type stage_report = {
   sr_name : string;

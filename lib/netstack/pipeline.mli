@@ -59,8 +59,38 @@ val recover_stage : t -> int -> (unit, string) result
 val failed_stage : t -> int option
 (** Index of the first stage whose domain is failed, if any. *)
 
+val last_error_stage : t -> int option
+(** The stage whose invocation failed during the most recent {!run}
+    ([None] after a successful one). Unlike {!failed_stage} this also
+    identifies failures that leave the domain [Running] — e.g. an rref
+    revoked mid-batch — which a supervisor must still react to. *)
+
+val stage_domain : t -> int -> Sfi.Pdomain.t
+(** [Isolated] only: the protection domain backing stage [i] — what a
+    supervisor matches manager lifecycle events against. Raises
+    [Invalid_argument] in other modes or on a bad index. *)
+
+val revoke_stage : t -> int -> bool
+(** [Isolated] only: revoke the i-th stage's proxy in place (a
+    fault-injection hook — the next batch through fails with
+    [Revoked] while the domain itself stays [Running]). The proxy is
+    re-published by {!recover_stage}. *)
+
+val set_stage_skipped : t -> int -> bool -> unit
+(** Graceful degradation: a skipped stage is routed around — batches
+    flow past it untouched — until un-skipped. Successful batches that
+    bypassed at least one stage are counted separately
+    ({!batches_degraded}, [netstack.pipeline.degraded_batches]). *)
+
+val stage_skipped : t -> int -> bool
+
 val batches_ok : t -> int
+(** Successful batches, including degraded ones. *)
+
 val batches_failed : t -> int
+
+val batches_degraded : t -> int
+(** Successful batches that bypassed at least one skipped stage. *)
 
 type stage_report = {
   sr_name : string;

@@ -31,6 +31,39 @@ type mode = Direct | Isolated | Copying | Tagged
 
 val mode_name : mode -> string
 
+type queue_ctx = {
+  qc_queue : int;                      (** The queue's id. *)
+  qc_clock : Cycles.Clock.t;           (** The queue's virtual clock. *)
+  qc_registry : Telemetry.Registry.t;  (** The owning shard's registry. *)
+}
+(** What a stage constructor sees of the queue it is being built for —
+    enough to key per-queue state (checkpoint stores, flow tables) and
+    to record telemetry, without reaching into the engine. *)
+
+type fault_spec = {
+  f_rate : float;       (** Poisson fault rate per queue round, in [0, 1]. *)
+  f_seed : int64;       (** Plan seed — independent of the traffic seed. *)
+  f_kinds : Faultinj.Plan.kind list;
+  f_policy : Faultinj.Restart.policy;  (** Same policy for every stage. *)
+  f_chan_capacity : int;
+      (** Capacity of the per-queue control channel [Channel_full]
+          faults overflow. *)
+  f_on_restart : (queue:int -> stage:int -> unit) option;
+      (** Runs just before a restarted stage's domain is recovered —
+          the checkpoint-restore hook ({!Chkpt.Store.rollback}). *)
+}
+
+val default_faults :
+  ?rate:float ->
+  ?seed:int64 ->
+  ?kinds:Faultinj.Plan.kind list ->
+  ?chan_capacity:int ->
+  ?on_restart:(queue:int -> stage:int -> unit) ->
+  policy:Faultinj.Restart.policy ->
+  unit ->
+  fault_spec
+(** Defaults: rate 0.05, seed 4242, all kinds, channel capacity 4. *)
+
 type spec = {
   shards : int;        (** Domains to run; 1 = single-core baseline. *)
   queues : int;        (** RSS receive queues (fixed as shards vary!). *)
@@ -41,10 +74,18 @@ type spec = {
   payload_bytes : int;
   pool_capacity : int; (** Buffers in each queue's mempool. *)
   mode : mode;
-  stages : clock:Cycles.Clock.t -> Stage.t list;
+  stages : queue_ctx -> Stage.t list;
       (** Stage constructor, called once per queue with that queue's
-          clock. Must build fresh stage state each call — stages are
+          context. Must build fresh stage state each call — stages are
           never shared across queues (or domains). *)
+  faults : fault_spec option;
+      (** When set ([Isolated] mode only), every queue runs a seeded
+          fault storm supervised by a {!Faultinj.Supervisor}: the
+          plan arms stage panics, injected recovery-fn panics, rref
+          revocations, control-channel overflows and mempool pressure,
+          and the policy decides how service resumes. Each queue's
+          schedule derives from [(f_seed, queue)] alone, so storms are
+          shard-count invariant like everything else here. *)
 }
 
 val default_spec :
@@ -56,19 +97,21 @@ val default_spec :
   ?flows:int ->
   ?payload_bytes:int ->
   ?pool_capacity:int ->
+  ?faults:fault_spec ->
   mode:mode ->
-  stages:(clock:Cycles.Clock.t -> Stage.t list) ->
+  stages:(queue_ctx -> Stage.t list) ->
   unit ->
   spec
 (** Defaults: 1 shard, 8 queues, 300 rounds, batch 32, seed 2017,
-    1024 flows, 18-byte payloads, 512-buffer pools. *)
+    1024 flows, 18-byte payloads, 512-buffer pools, no faults. *)
 
 type t
 
 val create : spec -> t
 (** Builds every queue replica (ascending queue id). Raises
     [Invalid_argument] if [shards] ≤ 0, [queues] < [shards], [rounds]
-    or [batch_size] ≤ 0, or the pool holds fewer than two batches.
+    or [batch_size] ≤ 0, the pool holds fewer than two batches, or
+    [faults] is set in a mode other than [Isolated].
     Queue [q] belongs to shard [q mod shards]. *)
 
 type queue_stats = {
@@ -76,15 +119,25 @@ type queue_stats = {
   qs_batches : int;
   qs_packets_out : int;
   qs_failed : int;
+  qs_crafted : int;   (** Packets crafted for this queue. *)
+  qs_served : int;    (** Transmitted by a fully healthy pipeline. *)
+  qs_degraded : int;  (** Transmitted while routing around a dead stage. *)
+  qs_dropped : int;   (** Stage drops + panic reclaims + rejected batches. *)
   qs_cycles : int64;  (** The queue's final virtual-cycle count. *)
 }
 
 type result = {
   r_shards : int;
   r_queues : int;
-  r_batches : int;      (** Non-empty batches processed, all queues. *)
+  r_batches : int;      (** Non-empty batches crafted, all queues. *)
   r_packets_out : int;
   r_failed : int;       (** Batches lost to contained stage panics. *)
+  r_crafted : int;      (** Always [r_served + r_degraded + r_dropped]. *)
+  r_served : int;
+  r_degraded : int;
+  r_dropped : int;
+  r_injected : int;     (** Faults the plans scheduled within [rounds]. *)
+  r_restarts : int;     (** Successful supervisor restarts. *)
   r_queue_stats : queue_stats list;  (** Ascending queue id. *)
   r_telemetry : Telemetry.Registry.t;
       (** The deterministic reduction of all shards' registries. *)

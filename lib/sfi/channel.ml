@@ -10,6 +10,7 @@ let error_to_string = function
 
 type 'a t = {
   clock : Cycles.Clock.t;
+  sender_pd : Pdomain.t;
   sender : Domain_id.t;
   receiver : Domain_id.t;
   capacity : int;
@@ -30,6 +31,7 @@ let create ~clock ~sender ~receiver ~capacity ?label () =
   let label = match label with Some l -> l | None -> Printf.sprintf "chan#%d" !counter in
   {
     clock;
+    sender_pd = sender;
     sender = Pdomain.id sender;
     receiver = Pdomain.id receiver;
     capacity;
@@ -73,10 +75,24 @@ let send t own =
       Ok ()
     end
 
-let send_or_fail t own =
+let send_exn t own =
   match send t own with
-  | Error Full -> Panic.panicf "channel %s overflow" t.label
+  | Error Full ->
+    let msg = Printf.sprintf "channel %s overflow" t.label in
+    (* The overflow is the *sender's* fault. When the panic unwinds to
+       the sending domain's own execute boundary it is attributed
+       there; but when the caller is the kernel (or another domain
+       relaying on the sender's behalf), the unwind would surface only
+       as a generic engine error — so charge the sending domain's panic
+       counter directly before unwinding. *)
+    (if not (Domain_id.equal (Tls.current ()) t.sender) then
+       match Pdomain.state t.sender_pd with
+       | Running -> Pdomain.mark_failed t.sender_pd msg
+       | Failed _ | Destroyed -> ());
+    Panic.panic msg
   | (Ok () | Error (Closed | Wrong_domain _)) as r -> r
+
+let send_or_fail = send_exn
 
 let recv t =
   Cycles.Clock.charge t.clock Tls_lookup;

@@ -42,9 +42,19 @@ val send : 'a t -> 'a Linear.Own.t -> (unit, error) result
     the value is dropped. Must be called from the sender domain (or
     the kernel). *)
 
-val send_or_fail : 'a t -> 'a Linear.Own.t -> (unit, error) result
+val send_exn : 'a t -> 'a Linear.Own.t -> (unit, error) result
 (** Like {!send} but panics on [Full] — for pipelines where drops are
-    a bug to be contained by SFI rather than tolerated. *)
+    a bug to be contained by SFI rather than tolerated. The panic is
+    attributed to the {e sending} domain: when raised inside the
+    sender's own {!Pdomain.execute} scope the boundary catch does that
+    naturally, and when raised from any other context (kernel code, a
+    relaying domain) the sender is marked [Failed] directly before the
+    unwind — either way the overflow lands on the sender's panic
+    counter and fires the manager's [Domain_failed] hook, instead of
+    surfacing as a generic engine error. *)
+
+val send_or_fail : 'a t -> 'a Linear.Own.t -> (unit, error) result
+(** Deprecated alias of {!send_exn}. *)
 
 val recv : 'a t -> ('a Linear.Own.t option, error) result
 (** [Ok None] when empty. Must be called from the receiver domain (or

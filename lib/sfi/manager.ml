@@ -9,6 +9,11 @@ type stats = {
   slots_revoked_by_recovery : int;
 }
 
+type event =
+  | Domain_failed of Pdomain.t
+  | Domain_recovered of Pdomain.t
+  | Domain_destroyed of Pdomain.t
+
 type t = {
   clock : Cycles.Clock.t;
   heap : Heap.t;
@@ -19,6 +24,7 @@ type t = {
   mutable domains_destroyed : int;
   mutable recoveries : int;
   mutable slots_revoked : int;
+  mutable subscribers : (event -> unit) list;
 }
 
 let create ?clock ?model ?cache_config ?telemetry () =
@@ -47,11 +53,17 @@ let create ?clock ?model ?cache_config ?telemetry () =
     domains_destroyed = 0;
     recoveries = 0;
     slots_revoked = 0;
+    subscribers = [];
   }
 
 let clock t = t.clock
 let heap t = t.heap
 let telemetry t = t.telemetry
+
+(* Subscribers run in registration order; a subscriber that raises
+   would tear the management plane, so they are expected not to. *)
+let notify t ev = List.iter (fun f -> f ev) (List.rev t.subscribers)
+let subscribe t f = t.subscribers <- f :: t.subscribers
 
 let domain_tele t ~name =
   match t.telemetry with
@@ -73,6 +85,10 @@ let create_domain t ~name ?policy ?recovery () =
   in
   t.domains <- d :: t.domains;
   t.domains_created <- t.domains_created + 1;
+  (* Every caught panic — at the execute boundary or attributed via
+     [mark_failed] — reaches the manager's subscribers, which is what a
+     supervisor needs to drive restart policies without polling. *)
+  Pdomain.set_on_fail d (Some (fun d -> notify t (Domain_failed d)));
   Log.info (fun m -> m "created domain %a (%s)" Domain_id.pp (Pdomain.id d) name);
   d
 
@@ -115,9 +131,13 @@ let recover t d =
   | Running | Failed _ ->
     (* The whole recovery sequence is one span: its virtual-cycle
        duration lands in the [sfi.recovery_cycles] histogram. *)
-    (match t.recovery_span with
-    | None -> recover_body t d
-    | Some span -> Telemetry.Span.with_ span (fun () -> recover_body t d))
+    let result =
+      match t.recovery_span with
+      | None -> recover_body t d
+      | Some span -> Telemetry.Span.with_ span (fun () -> recover_body t d)
+    in
+    (match result with Ok () -> notify t (Domain_recovered d) | Error _ -> ());
+    result
 
 let destroy t d =
   match Pdomain.state d with
@@ -127,6 +147,7 @@ let destroy t d =
     ignore (Heap.free_all_owned_by t.heap (Pdomain.id d));
     Pdomain.mark_destroyed d;
     t.domains_destroyed <- t.domains_destroyed + 1;
+    notify t (Domain_destroyed d);
     Log.info (fun m -> m "destroyed domain %a" Domain_id.pp (Pdomain.id d))
 
 let cpu_report t =

@@ -46,6 +46,25 @@ val create_domain :
 val domains : t -> Pdomain.t list
 val find : t -> Domain_id.t -> Pdomain.t option
 
+(** {2 Supervisor-visible lifecycle hooks}
+
+    A supervision layer (see {!Faultinj.Supervisor}) drives restart
+    policies from these events instead of polling domain states:
+    [Domain_failed] fires for every caught panic — whether it unwound
+    to the {!Pdomain.execute} boundary or was attributed out-of-band
+    (e.g. a {!Channel.send_exn} overflow charged to the sending
+    domain); [Domain_recovered] fires after a successful {!recover};
+    [Domain_destroyed] after {!destroy}. *)
+
+type event =
+  | Domain_failed of Pdomain.t
+  | Domain_recovered of Pdomain.t
+  | Domain_destroyed of Pdomain.t
+
+val subscribe : t -> (event -> unit) -> unit
+(** Subscribers are called synchronously, in registration order, from
+    the thread that triggered the transition. They must not raise. *)
+
 val recover : t -> Pdomain.t -> (unit, string) result
 (** Recover a [Failed] domain (also accepts a [Running] domain, for
     proactive recycling). Returns [Error _] if the domain is destroyed

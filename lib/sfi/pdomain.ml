@@ -26,6 +26,7 @@ type t = {
   mutable panic_count : int;
   mutable cycles_consumed : int64;
   mutable entry_count : int;
+  mutable on_fail : (t -> unit) option;
   tele : tele option;
 }
 
@@ -45,6 +46,7 @@ let create ~clock ~heap ~name ?(policy = Policy.allow_all) ?recovery ?tele () =
     panic_count = 0;
     cycles_consumed = 0L;
     entry_count = 0;
+    on_fail = None;
     tele;
   }
 
@@ -65,9 +67,14 @@ let cycles_consumed t = t.cycles_consumed
 let entry_count t = t.entry_count
 let tele t = t.tele
 
+let set_on_fail t f = t.on_fail <- f
+
 let record_panic t =
-  match t.tele with
+  (match t.tele with
   | Some tl -> Telemetry.Counter.incr tl.tl_panics
+  | None -> ());
+  match t.on_fail with
+  | Some notify -> notify t
   | None -> ()
 
 let execute t f =

@@ -83,6 +83,13 @@ val alloc : t -> bytes:int -> Heap.allocation
 
 (** {2 Used by the manager — not part of the client API} *)
 
+val set_on_fail : t -> (t -> unit) option -> unit
+(** Install the failure notification the manager fans out to its
+    subscribers (supervisors, watchdogs). Invoked exactly once per
+    caught panic — whether it was caught by {!execute} or attributed
+    out-of-band via {!mark_failed} — after the domain has transitioned
+    to [Failed] and its panic counters were bumped. *)
+
 val mark_failed : t -> string -> unit
 val mark_destroyed : t -> unit
 val reset_after_recovery : t -> unit

@@ -60,7 +60,7 @@ let small_spec ?(mode = Shard.Direct) ?(shards = 1) ?stages () =
   let stages =
     match stages with
     | Some s -> s
-    | None -> fun ~clock:_ -> [ Filters.checksum_verify; Filters.ttl_decrement ]
+    | None -> fun (_ : Shard.queue_ctx) -> [ Filters.checksum_verify; Filters.ttl_decrement ]
   in
   Shard.default_spec ~shards ~queues:4 ~rounds:60 ~batch_size:16 ~flows:256
     ~pool_capacity:64 ~mode ~stages ()
@@ -124,7 +124,7 @@ let test_shard_preserves_flow_order () =
      shard so the recording arrays need no synchronisation. *)
   let recorded = Array.make queues [] in
   let next_queue = ref 0 in
-  let stages ~clock:_ =
+  let stages (_ : Shard.queue_ctx) =
     let q = !next_queue in
     incr next_queue;
     [
@@ -166,7 +166,7 @@ let test_shard_preserves_flow_order () =
 (* ------------------------------------------------------------------ *)
 
 let test_shard_isolated_faults_contained () =
-  let stages ~clock:_ = [ Filters.fault_injector ~panic_after:2 ] in
+  let stages (_ : Shard.queue_ctx) = [ Filters.fault_injector ~panic_after:2 ] in
   let spec =
     Shard.default_spec ~shards:2 ~queues:2 ~rounds:8 ~batch_size:8 ~flows:64
       ~pool_capacity:64 ~mode:Shard.Isolated ~stages ()
