@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-quick stats scale scale-determinism \
+.PHONY: all build test bench bench-quick bench-json stats scale scale-determinism \
 	storm storm-determinism examples doc clean loc
 
 all: build test
@@ -17,6 +17,11 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Wall-clock trajectory: Bechamel microbenchmarks + pipeline Mpps,
+# serialized to BENCH_netstack.json at the repo root.
+bench-json:
+	dune exec bench/main.exe -- --json
 
 stats:
 	dune exec bin/repro.exe -- stats fig2 recovery rollback

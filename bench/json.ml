@@ -1,0 +1,45 @@
+(* Minimal JSON emitter for the benchmark trajectory file.
+
+   Schema (one object per benchmark):
+     { "name": string, "ns_per_run": float, "mpps": float }   (* mpps optional *)
+
+   The file is rewritten wholesale on every run — it is a snapshot of
+   the current tree's wall-clock numbers, not an append-only log; the
+   trajectory lives in version control. *)
+
+type entry = { name : string; ns_per_run : float; mpps : float option }
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON has no NaN/Infinity; clamp to null-free, parseable output. *)
+let float_str f =
+  if Float.is_nan f then "0.0"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else Printf.sprintf "%.3f" f
+
+let entry_to_string e =
+  let mpps = match e.mpps with None -> "" | Some m -> Printf.sprintf ", \"mpps\": %s" (float_str m) in
+  Printf.sprintf "  { \"name\": \"%s\", \"ns_per_run\": %s%s }" (escape e.name)
+    (float_str e.ns_per_run) mpps
+
+let to_string entries =
+  "[\n" ^ String.concat ",\n" (List.map entry_to_string entries) ^ "\n]\n"
+
+let write ~path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string entries))

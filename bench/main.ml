@@ -6,7 +6,9 @@
      dune exec bench/main.exe                 # everything, full trials
      dune exec bench/main.exe -- fig2 fig3    # selected experiments
      dune exec bench/main.exe -- --quick      # everything, reduced trials
-     dune exec bench/main.exe -- --list       # available ids *)
+     dune exec bench/main.exe -- --list       # available ids
+     dune exec bench/main.exe -- --json       # wall-clock suite ->
+                                              # BENCH_netstack.json *)
 
 let wallclock_entry =
   {
@@ -15,7 +17,33 @@ let wallclock_entry =
     run = (fun ~quick:_ -> Wallclock.run ());
   }
 
-let experiments = Experiments.Registry.all @ [ wallclock_entry ]
+let throughput_entry =
+  {
+    Experiments.Registry.id = "throughput";
+    description = "Maglev NF pipeline throughput (wall clock, Mpps)";
+    run = Throughput.run;
+  }
+
+let experiments = Experiments.Registry.all @ [ wallclock_entry; throughput_entry ]
+
+let bench_json_path = "BENCH_netstack.json"
+
+(* The wall-clock trajectory: every Bechamel row plus the sustained
+   pipeline throughput, serialized for trend tracking across commits. *)
+let emit_json ~quick =
+  let rows = Wallclock.measure () in
+  Wallclock.print rows;
+  let tp = Throughput.measure ~quick in
+  let entries =
+    List.map (fun (name, ns) -> { Json.name; ns_per_run = ns; mpps = None }) rows
+    @ List.map
+        (fun r ->
+          { Json.name = r.Throughput.name; ns_per_run = r.Throughput.ns_per_batch;
+            mpps = Some r.Throughput.mpps })
+        tp
+  in
+  Json.write ~path:bench_json_path entries;
+  Printf.printf "wrote %s (%d entries)\n" bench_json_path (List.length entries)
 
 let find id = List.find_opt (fun e -> String.equal e.Experiments.Registry.id id) experiments
 
@@ -33,7 +61,8 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
-  if List.mem "--list" args then
+  if List.mem "--json" args then emit_json ~quick
+  else if List.mem "--list" args then
     List.iter
       (fun (e : Experiments.Registry.entry) -> Printf.printf "%-16s %s\n" e.id e.description)
       experiments

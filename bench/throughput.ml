@@ -1,0 +1,59 @@
+(* Packets-per-second throughput of the Maglev NF pipeline.
+
+   Bechamel measures single operations under OLS; this bench instead
+   drives sustained rx -> pipeline -> tx traffic for many batches and
+   reports wall-clock megapackets/second — the number a DPDK operator
+   would quote, and the one the allocation-free hot path is meant to
+   move. Absolute values are host-dependent; the Direct / Isolated /
+   Tagged spread is the paper's Figure 2 story told in real time. *)
+
+type result = { name : string; ns_per_batch : float; mpps : float }
+
+let batch_size = 32
+
+let modes =
+  [
+    ("throughput: maglev NF, direct", fun _env -> Netstack.Pipeline.Direct);
+    ( "throughput: maglev NF, isolated",
+      fun env -> Netstack.Pipeline.Isolated env.Experiments.Env.manager );
+    ("throughput: maglev NF, tagged", fun _env -> Netstack.Pipeline.Tagged);
+  ]
+
+let run_mode ~batches (name, mode_of_env) =
+  let env = Experiments.Env.make () in
+  let _mg, stages = Experiments.Env.maglev_nf env in
+  let pipe =
+    Netstack.Pipeline.create ~engine:env.Experiments.Env.engine ~mode:(mode_of_env env) stages
+  in
+  let nic = env.Experiments.Env.nic in
+  let serve n =
+    for _ = 1 to n do
+      let b = Netstack.Nic.rx_batch nic batch_size in
+      match Netstack.Pipeline.run pipe b with
+      | Ok out -> ignore (Netstack.Nic.tx_batch nic out)
+      | Error _ -> assert false
+    done
+  in
+  (* Warm the pool free list, Maglev connection table and minor heap
+     before the timed window. *)
+  serve 64;
+  let t0 = Unix.gettimeofday () in
+  serve batches;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let packets = batches * batch_size in
+  {
+    name;
+    ns_per_batch = elapsed *. 1e9 /. float_of_int batches;
+    mpps = (float_of_int packets /. elapsed /. 1e6);
+  }
+
+let measure ~quick =
+  let batches = if quick then 512 else 8192 in
+  List.map (run_mode ~batches) modes
+
+let run ~quick =
+  let results = measure ~quick in
+  print_endline "Pipeline throughput (wall clock, batch=32):";
+  List.iter
+    (fun r -> Printf.printf "  %-40s %10.1f ns/batch %8.3f Mpps\n" r.name r.ns_per_batch r.mpps)
+    results

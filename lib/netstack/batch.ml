@@ -1,11 +1,29 @@
+(* Placeholder for empty/invalid sidecar slots; never observable
+   through the API (guarded by the key being [Flow.Key.none]). *)
+let no_flow =
+  Flow.make ~src_ip:0l ~dst_ip:0l ~src_port:0 ~dst_port:0 ~protocol:Flow.Udp
+
 type t = {
   mutable pkts : Packet.t option array;
   mutable len : int;
+  (* Flow-key sidecar: slot [i] caches the parse of packet [i]'s
+     5-tuple — the packed immediate key in [keys] and the materialised
+     record in [flows] — so that the header is parsed once (at NIC rx)
+     instead of once per pipeline stage. [keys.(i) = Flow.Key.none]
+     marks a slot that was never parsed or was invalidated by a header
+     mutation; [flows.(i)] is then meaningless. *)
+  keys : int array;
+  flows : Flow.t array;
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Batch.create: capacity must be positive";
-  { pkts = Array.make capacity None; len = 0 }
+  {
+    pkts = Array.make capacity None;
+    len = 0;
+    keys = Array.make capacity Flow.Key.none;
+    flows = Array.make capacity no_flow;
+  }
 
 let length t = t.len
 let capacity t = Array.length t.pkts
@@ -14,6 +32,7 @@ let is_empty t = t.len = 0
 let push t p =
   if t.len = Array.length t.pkts then invalid_arg "Batch.push: batch full";
   t.pkts.(t.len) <- Some p;
+  t.keys.(t.len) <- Flow.Key.none;
   t.len <- t.len + 1
 
 let of_list ps =
@@ -27,9 +46,59 @@ let get t i =
   | Some p -> p
   | None -> assert false
 
+(* --- Flow-key sidecar ------------------------------------------------ *)
+
+let check_slot op t i =
+  if i < 0 || i >= t.len then invalid_arg ("Batch." ^ op ^ ": out of bounds")
+
+let seed_flow t i flow =
+  check_slot "seed_flow" t i;
+  t.keys.(i) <- Flow.Key.of_flow flow;
+  t.flows.(i) <- flow
+
+let push_flow t p flow =
+  push t p;
+  t.keys.(t.len - 1) <- Flow.Key.of_flow flow;
+  t.flows.(t.len - 1) <- flow
+
+let invalidate_flow t i =
+  check_slot "invalidate_flow" t i;
+  t.keys.(i) <- Flow.Key.none
+
+let flow_cached t i =
+  check_slot "flow_cached" t i;
+  not (Flow.Key.is_none t.keys.(i))
+
+let flow t i =
+  check_slot "flow" t i;
+  if Flow.Key.is_none t.keys.(i) then begin
+    let f = Packet.flow_of (get t i) in
+    t.keys.(i) <- Flow.Key.of_flow f;
+    t.flows.(i) <- f
+  end;
+  t.flows.(i)
+
+let flow_key t i =
+  check_slot "flow_key" t i;
+  if Flow.Key.is_none t.keys.(i) then ignore (flow t i);
+  t.keys.(i)
+
+let blit_flow src i dst j =
+  check_slot "blit_flow" src i;
+  check_slot "blit_flow" dst j;
+  dst.keys.(j) <- src.keys.(i);
+  dst.flows.(j) <- src.flows.(i)
+
+(* --- Traversal ------------------------------------------------------- *)
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f (get t i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (get t i)
   done
 
 let fold f init t =
@@ -37,28 +106,46 @@ let fold f init t =
   iter (fun p -> acc := f !acc p) t;
   !acc
 
-let filter_in_place t keep =
+(* The keep callback sees the packet at its *original* index — the
+   write cursor [w] only ever trails the read cursor, so slot [i] is
+   still intact when [keep i p] runs and sidecar operations against
+   index [i] (e.g. [invalidate_flow] after a header rewrite) land on
+   the right slot before it is compacted down to [w]. *)
+let filteri_in_place t keep =
   let dropped = ref [] in
   let w = ref 0 in
   for i = 0 to t.len - 1 do
     let p = get t i in
-    if keep p then begin
+    if keep i p then begin
       t.pkts.(!w) <- Some p;
+      t.keys.(!w) <- t.keys.(i);
+      t.flows.(!w) <- t.flows.(i);
       incr w
     end
     else dropped := p :: !dropped
   done;
   for i = !w to t.len - 1 do
-    t.pkts.(i) <- None
+    t.pkts.(i) <- None;
+    t.keys.(i) <- Flow.Key.none
   done;
   t.len <- !w;
   List.rev !dropped
+
+let filter_in_place t keep = filteri_in_place t (fun _ p -> keep p)
+
+let clear t =
+  for i = 0 to t.len - 1 do
+    t.pkts.(i) <- None;
+    t.keys.(i) <- Flow.Key.none
+  done;
+  t.len <- 0
 
 let take_all t =
   let ps = ref [] in
   for i = t.len - 1 downto 0 do
     ps := get t i :: !ps;
-    t.pkts.(i) <- None
+    t.pkts.(i) <- None;
+    t.keys.(i) <- Flow.Key.none
   done;
   t.len <- 0;
   !ps

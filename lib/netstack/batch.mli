@@ -18,15 +18,61 @@ val capacity : t -> int
 val is_empty : t -> bool
 
 val push : t -> Packet.t -> unit
-(** Raises [Invalid_argument] when full. *)
+(** Raises [Invalid_argument] when full. The new slot's flow cache
+    starts invalid. *)
+
+val push_flow : t -> Packet.t -> Flow.t -> unit
+(** [push] plus seeding the flow-key sidecar: the NIC rx path knows the
+    5-tuple it crafted, so downstream stages never re-parse headers. *)
 
 val get : t -> int -> Packet.t
 val iter : (Packet.t -> unit) -> t -> unit
+val iteri : (int -> Packet.t -> unit) -> t -> unit
 val fold : ('a -> Packet.t -> 'a) -> 'a -> t -> 'a
+
+(** {2 Flow-key sidecar}
+
+    Slot [i] caches the parse of packet [i]'s 5-tuple — the packed
+    immediate {!Flow.Key.t} and the materialised {!Flow.t} — seeded at
+    NIC rx and reused by every stage (Maglev, RSS, NAT, heavy hitters,
+    firewalls). A stage that mutates any 5-tuple header field must call
+    {!invalidate_flow}; the next {!flow}/{!flow_key} then re-parses
+    lazily. All sidecar accessors bounds-check and raise
+    [Invalid_argument] like {!get}. *)
+
+val flow : t -> int -> Flow.t
+(** Cached 5-tuple of packet [i]; parses (and caches) on a cold or
+    invalidated slot. *)
+
+val flow_key : t -> int -> Flow.Key.t
+(** Packed key of packet [i]'s 5-tuple; same caching as {!flow}. *)
+
+val seed_flow : t -> int -> Flow.t -> unit
+(** Install a known 5-tuple for slot [i] (NIC rx, packet rewriters that
+    know the post-rewrite tuple). *)
+
+val invalidate_flow : t -> int -> unit
+(** Mark slot [i]'s cache stale after a header mutation. *)
+
+val flow_cached : t -> int -> bool
+
+val blit_flow : t -> int -> t -> int -> unit
+(** [blit_flow src i dst j] copies slot [i]'s cache (valid or not) to
+    [dst]'s slot [j] — for deep-copying pipelines whose copies are
+    byte-identical. *)
 
 val filter_in_place : t -> (Packet.t -> bool) -> Packet.t list
 (** Keep packets satisfying the predicate (preserving order); returns
-    the dropped ones so the caller can release their buffers. *)
+    the dropped ones so the caller can release their buffers. The
+    sidecar is compacted alongside the packets. *)
+
+val filteri_in_place : t -> (int -> Packet.t -> bool) -> Packet.t list
+(** [filter_in_place] with the packet's (pre-compaction) index, so the
+    predicate can consult and invalidate the flow sidecar. *)
+
+val clear : t -> unit
+(** Empty the batch without returning the packets (the caller already
+    released or transferred the buffers). *)
 
 val take_all : t -> Packet.t list
 (** Empty the batch, returning its packets. *)

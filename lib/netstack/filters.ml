@@ -37,18 +37,22 @@ let checksum_verify =
       batch)
 
 let backend_ip backend = Int32.logor 0x0A010000l (Int32.of_int (backend land 0xffff))
+let backend_ip_int backend = 0x0A010000 lor (backend land 0xffff)
 
 let maglev mg =
   Stage.make ~name:"maglev" (fun engine batch ->
-      Batch.iter
-        (fun p ->
-          (* Read the 5-tuple from the headers. *)
+      Batch.iteri
+        (fun i p ->
+          (* The 5-tuple comes from the batch sidecar (parsed once at
+             NIC rx); the touch still models the header read the
+             hardware performs. *)
           Engine.touch_packet engine p ~off:Packet.eth_header_bytes
             ~bytes:(Packet.ipv4_header_bytes + 4);
-          let flow = Packet.flow_of p in
-          let backend = Maglev.lookup mg flow in
+          let flow = Batch.flow batch i in
+          let backend = Maglev.lookup_keyed mg flow ~key:(Batch.flow_key batch i) in
           (* Rewrite the destination to the chosen backend. *)
-          Packet.set_dst_ip p (backend_ip backend);
+          Packet.set_dst_ip_int p (backend_ip_int backend);
+          Batch.invalidate_flow batch i;
           Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 16) ~bytes:4)
         batch;
       batch)
@@ -56,13 +60,15 @@ let maglev mg =
 let maglev_gre mg ~vip =
   Stage.make ~name:"maglev-gre" (fun engine batch ->
       let dropped =
-        Batch.filter_in_place batch (fun p ->
+        Batch.filteri_in_place batch (fun i p ->
             Engine.touch_packet engine p ~off:Packet.eth_header_bytes
               ~bytes:(Packet.ipv4_header_bytes + 4);
-            let flow = Packet.flow_of p in
-            let backend = Maglev.lookup mg flow in
+            let flow = Batch.flow batch i in
+            let backend = Maglev.lookup_keyed mg flow ~key:(Batch.flow_key batch i) in
             match Packet.encap_gre p ~outer_src:vip ~outer_dst:(backend_ip backend) with
             | () ->
+              (* The outer header is now the packet's 5-tuple source. *)
+              Batch.invalidate_flow batch i;
               (* The shift + new outer header touch the whole frame. *)
               Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
               Cycles.Clock.charge (Engine.clock engine) (Copy Packet.gre_overhead_bytes);
@@ -75,11 +81,13 @@ let maglev_gre mg ~vip =
 let gre_decap =
   Stage.make ~name:"gre-decap" (fun engine batch ->
       let dropped =
-        Batch.filter_in_place batch (fun p ->
+        Batch.filteri_in_place batch (fun i p ->
             Engine.touch_packet engine p ~off:Packet.eth_header_bytes
               ~bytes:Packet.ipv4_header_bytes;
             if Packet.is_gre p then begin
               Packet.decap_gre p;
+              (* The inner packet's tuple is live again. *)
+              Batch.invalidate_flow batch i;
               Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
               true
             end
@@ -92,11 +100,11 @@ let firewall ~name verdict =
   Stage.make ~name (fun engine batch ->
       let clock = Engine.clock engine in
       let dropped =
-        Batch.filter_in_place batch (fun p ->
+        Batch.filteri_in_place batch (fun i p ->
             Engine.touch_packet engine p ~off:Packet.eth_header_bytes
               ~bytes:(Packet.ipv4_header_bytes + 4);
             Cycles.Clock.charge clock (Alu 6);
-            verdict (Packet.flow_of p))
+            verdict (Batch.flow batch i))
       in
       drop_packets engine dropped;
       batch)

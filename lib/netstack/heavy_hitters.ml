@@ -78,11 +78,11 @@ let equal a b =
 
 let stage t =
   Stage.make ~name:"flow-stats" (fun engine batch ->
-      Batch.iter
-        (fun p ->
+      Batch.iteri
+        (fun i p ->
           Engine.touch_packet engine p ~off:Packet.eth_header_bytes
             ~bytes:(Packet.ipv4_header_bytes + 4);
           Cycles.Clock.charge (Engine.clock engine) (Alu 6);
-          observe t (Packet.flow_of p))
+          observe t (Batch.flow batch i))
         batch;
       batch)

@@ -94,14 +94,18 @@ let lookup_no_track t flow =
   touch_table_entry t idx;
   t.table.(idx)
 
-let lookup t flow =
+(* [key] must be [Flow.Key.of_flow flow] (i.e. [Flow.hash flow]) — the
+   batch sidecar hands it in precomputed, so the steady-state lookup
+   re-hashes nothing. The virtual-cycle charges model the hash work the
+   hardware still does and are identical to [lookup]'s, keyed or not. *)
+let lookup_keyed t flow ~key =
   charge_hash t;
   touch_conn_bucket t flow;
   Cycles.Clock.charge t.clock Branch_hit;
   match Hashtbl.find_opt t.conn flow with
   | Some backend -> backend
   | None ->
-    let idx = Flow.hash flow mod t.table_size in
+    let idx = key mod t.table_size in
     touch_table_entry t idx;
     let backend = t.table.(idx) in
     (* Record affinity. *)
@@ -109,6 +113,8 @@ let lookup t flow =
     touch_conn_bucket t flow;
     Hashtbl.replace t.conn flow backend;
     backend
+
+let lookup t flow = lookup_keyed t flow ~key:(Flow.hash flow)
 
 let set_backends t backends =
   if Array.length backends = 0 then invalid_arg "Maglev.set_backends: no backends";

@@ -62,6 +62,31 @@ let alloc_exn t =
   | Some p -> p
   | None -> invalid_arg "Mempool.alloc_exn: pool exhausted"
 
+(* Allocate straight into a batch: charge-identical to [alloc] (one
+   free-list touch, one Alloc) but with no [Some] box per packet — the
+   per-packet allocation the rx hot path used to pay. *)
+let alloc_into t batch =
+  Cycles.Clock.touch t.clock t.freelist_addr ~bytes:8;
+  Cycles.Clock.charge t.clock Alloc;
+  if t.free_top = 0 then false
+  else begin
+    t.free_top <- t.free_top - 1;
+    let slot = t.free_slots.(t.free_top) in
+    t.slot_free.(slot) <- false;
+    t.slot_serial.(slot) <- t.next_serial;
+    t.next_serial <- t.next_serial + 1;
+    Batch.push batch { Packet.buf = t.buffers.(slot); len = 0; addr = addr_of_slot t slot; slot };
+    true
+  end
+
+let alloc_batch t batch n =
+  if n < 0 then invalid_arg "Mempool.alloc_batch: negative count";
+  let got = ref 0 in
+  while !got < n && alloc_into t batch do
+    incr got
+  done;
+  !got
+
 let is_allocated t (p : Packet.t) =
   p.slot >= 0
   && p.slot < t.capacity
@@ -80,6 +105,16 @@ let free t (p : Packet.t) =
   then invalid_arg "Mempool.free: foreign packet";
   if t.slot_free.(p.slot) then invalid_arg "Mempool.free: double free";
   free_slot t p.slot
+
+(* Release every buffer of a batch in slot-index order (the same order
+   a [take_all]-then-iterate drop path used, so the free list — and
+   with it every later allocation's address — is unchanged), then empty
+   the batch without building the intermediate list. *)
+let free_batch t batch =
+  for i = 0 to Batch.length batch - 1 do
+    free t (Batch.get batch i)
+  done;
+  Batch.clear batch
 
 let mark t = t.next_serial
 

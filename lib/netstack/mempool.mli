@@ -25,9 +25,24 @@ val alloc : t -> Packet.t option
 
 val alloc_exn : t -> Packet.t
 
+val alloc_into : t -> Batch.t -> bool
+(** Pop a buffer directly into the batch; [false] when the pool is
+    exhausted (nothing pushed). Charge-identical to {!alloc} but
+    allocation-free on the OCaml heap: no [option] box per packet.
+    Raises [Invalid_argument] if the batch is full. *)
+
+val alloc_batch : t -> Batch.t -> int -> int
+(** [alloc_batch t b n] pushes up to [n] fresh buffers into [b],
+    returning how many were actually allocated (short on pool
+    exhaustion). Equivalent to [n] {!alloc_into} calls. *)
+
 val free : t -> Packet.t -> unit
 (** Return a buffer. Raises [Invalid_argument] if the packet does not
     belong to this pool or is already free (double-free detection). *)
+
+val free_batch : t -> Batch.t -> unit
+(** Release every buffer of the batch in index order and empty it —
+    the list-free equivalent of freeing [take_all]'s result in order. *)
 
 val is_allocated : t -> Packet.t -> bool
 (** [true] iff the packet belongs to this pool and its buffer is

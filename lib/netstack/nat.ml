@@ -70,10 +70,10 @@ let translate_back t ~port =
 let stage t =
   Stage.make ~name:"snat" (fun engine batch ->
       let dropped =
-        Batch.filter_in_place batch (fun p ->
+        Batch.filteri_in_place batch (fun i p ->
             Engine.touch_packet engine p ~off:Packet.eth_header_bytes
               ~bytes:(Packet.ipv4_header_bytes + 4);
-            let flow = Packet.flow_of p in
+            let flow = Batch.flow batch i in
             match translate t flow with
             | None ->
               t.drops <- t.drops + 1;
@@ -81,6 +81,8 @@ let stage t =
             | Some (ip, port) ->
               Packet.set_src_ip p ip;
               Packet.set_src_port p port;
+              (* The source half of the tuple just changed. *)
+              Batch.invalidate_flow batch i;
               Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 12) ~bytes:8;
               true)
       in

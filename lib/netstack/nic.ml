@@ -65,6 +65,7 @@ let craft_packet_for t (p : Packet.t) (flow : Flow.t) =
 let rx_batch t n =
   if n <= 0 then invalid_arg "Nic.rx_batch: batch size must be positive";
   let clock = Engine.clock t.engine in
+  let pool = Engine.pool t.engine in
   let batch = Batch.create ~capacity:n in
   (try
      for i = 0 to n - 1 do
@@ -72,12 +73,14 @@ let rx_batch t n =
        Cycles.Clock.touch clock
          (Int64.add t.ring_addr (Int64.of_int (i * 16 mod 4096)))
          ~bytes:16;
-       match Mempool.alloc (Engine.pool t.engine) with
-       | None -> raise Exit
-       | Some p ->
-         craft_packet_for t p (Traffic.next_flow t.traffic);
-         Batch.push batch p;
-         t.rx_packets <- t.rx_packets + 1
+       if not (Mempool.alloc_into pool batch) then raise Exit;
+       let slot = Batch.length batch - 1 in
+       let flow = Traffic.next_flow t.traffic in
+       craft_packet_for t (Batch.get batch slot) flow;
+       (* The driver crafted the packet for [flow]: seed the batch's
+          flow-key sidecar so no stage ever re-parses the headers. *)
+       Batch.seed_flow batch slot flow;
+       t.rx_packets <- t.rx_packets + 1
      done
    with Exit -> ());
   (match t.tele with
@@ -88,6 +91,7 @@ let rx_batch t n =
 let rx_batch_filtered t n ~keep =
   if n <= 0 then invalid_arg "Nic.rx_batch_filtered: batch size must be positive";
   let clock = Engine.clock t.engine in
+  let pool = Engine.pool t.engine in
   let batch = Batch.create ~capacity:n in
   (try
      for i = 0 to n - 1 do
@@ -101,12 +105,11 @@ let rx_batch_filtered t n ~keep =
          Cycles.Clock.touch clock
            (Int64.add t.ring_addr (Int64.of_int (i * 16 mod 4096)))
            ~bytes:16;
-         match Mempool.alloc (Engine.pool t.engine) with
-         | None -> raise Exit
-         | Some p ->
-           craft_packet_for t p flow;
-           Batch.push batch p;
-           t.rx_packets <- t.rx_packets + 1
+         if not (Mempool.alloc_into pool batch) then raise Exit;
+         let slot = Batch.length batch - 1 in
+         craft_packet_for t (Batch.get batch slot) flow;
+         Batch.seed_flow batch slot flow;
+         t.rx_packets <- t.rx_packets + 1
        end
      done
    with Exit -> ());
@@ -118,23 +121,25 @@ let rx_batch_filtered t n ~keep =
 let free_packets t ps =
   List.iter (fun p -> Mempool.free (Engine.pool t.engine) p) ps
 
+let drop_batch t batch = Mempool.free_batch (Engine.pool t.engine) batch
+
 let tx_batch t batch =
   let clock = Engine.clock t.engine in
-  let ps = Batch.take_all batch in
-  let n = List.length ps in
-  List.iteri
-    (fun i p ->
-      (* Write the tx descriptor. *)
-      Cycles.Clock.touch clock
-        (Int64.add t.ring_addr (Int64.of_int (2048 + (i * 16 mod 2048))))
-        ~bytes:16;
-      (* Reading the mbuf metadata to build the descriptor. *)
-      Engine.touch_packet t.engine p
-        ~off:(Mempool.buf_bytes (Engine.pool t.engine) - 128)
-        ~bytes:64;
-      Cycles.Clock.charge clock (Alu 2);
-      Mempool.free (Engine.pool t.engine) p)
-    ps;
+  let pool = Engine.pool t.engine in
+  let mbuf_off = Mempool.buf_bytes pool - 128 in
+  let n = Batch.length batch in
+  for i = 0 to n - 1 do
+    let p = Batch.get batch i in
+    (* Write the tx descriptor. *)
+    Cycles.Clock.touch clock
+      (Int64.add t.ring_addr (Int64.of_int (2048 + (i * 16 mod 2048))))
+      ~bytes:16;
+    (* Reading the mbuf metadata to build the descriptor. *)
+    Engine.touch_packet t.engine p ~off:mbuf_off ~bytes:64;
+    Cycles.Clock.charge clock (Alu 2);
+    Mempool.free pool p
+  done;
+  Batch.clear batch;
   t.tx_packets <- t.tx_packets + n;
   (match t.tele with
   | Some tl -> Telemetry.Counter.add tl.tl_tx n

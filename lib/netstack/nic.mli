@@ -17,7 +17,9 @@ val create : ?driver_seed:int64 -> engine:Engine.t -> traffic:Traffic.t -> unit 
 
 val rx_batch : t -> int -> Batch.t
 (** [rx_batch t n] produces up to [n] freshly-crafted packets (fewer
-    only if the pool runs dry). *)
+    only if the pool runs dry). The flow-key sidecar of the returned
+    batch is seeded: the driver knows the 5-tuple it crafted for, so
+    the headers are never parsed again downstream. *)
 
 val rx_batch_filtered : t -> int -> keep:(Flow.t -> bool) -> Batch.t
 (** [rx_batch_filtered t n ~keep] draws exactly [n] arrivals from the
@@ -34,6 +36,10 @@ val tx_batch : t -> Batch.t -> int
     count. The batch is left empty. *)
 
 val free_packets : t -> Packet.t list -> unit
+
+val drop_batch : t -> Batch.t -> unit
+(** Release every buffer of an unserved batch and empty it — the
+    list-free drop path (supervisor-rejected batches and the like). *)
 
 val rx_packets : t -> int
 val tx_packets : t -> int

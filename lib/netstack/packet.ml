@@ -11,23 +11,21 @@ let udp_header_bytes = 8
 let tcp_header_bytes = 20
 let min_frame_bytes = 64
 
-(* Byte-order helpers: network order is big-endian. *)
-let get_u8 b off = Char.code (Bytes.get b off)
-let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
-let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+(* Byte-order helpers: network order is big-endian. 16-bit words go
+   through the stdlib's single-load [Bytes.get_uint16_be] accessors;
+   32-bit quantities are composed from two word reads so the value
+   stays an immediate int end to end — the [int32] accessors below are
+   thin boxing wrappers kept for the external API only. *)
+let[@inline] get_u8 b off = Char.code (Bytes.get b off)
+let[@inline] set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+let[@inline] get_u16 b off = Bytes.get_uint16_be b off
+let[@inline] set_u16 b off v = Bytes.set_uint16_be b off v
 
-let set_u16 b off v =
-  set_u8 b off (v lsr 8);
-  set_u8 b (off + 1) v
+let[@inline] get_u32_int b off = (Bytes.get_uint16_be b off lsl 16) lor Bytes.get_uint16_be b (off + 2)
 
-let get_u32 b off =
-  Int32.logor
-    (Int32.shift_left (Int32.of_int (get_u16 b off)) 16)
-    (Int32.of_int (get_u16 b (off + 2)))
-
-let set_u32 b off v =
-  set_u16 b off (Int32.to_int (Int32.shift_right_logical v 16) land 0xffff);
-  set_u16 b (off + 2) (Int32.to_int v land 0xffff)
+let[@inline] set_u32_int b off v =
+  Bytes.set_uint16_be b off (v lsr 16);
+  Bytes.set_uint16_be b (off + 2) v
 
 (* --- IPv4 header ---------------------------------------------------- *)
 
@@ -40,19 +38,23 @@ let check_ipv4 t =
   if vihl land 0xf <> 5 then invalid_arg "Packet: IPv4 options unsupported"
 
 (* RFC 1071 checksum of the 20-byte header, with the checksum field
-   itself treated as zero. *)
+   itself treated as zero: unrolled over the nine live 16-bit words
+   (word 5 is the checksum field). The raw sum is at most 9 * 0xffff,
+   so two fold steps always clear the carries. *)
 let ipv4_checksum_compute t =
-  let sum = ref 0 in
-  for i = 0 to 9 do
-    let off = ip_off + (2 * i) in
-    let word = if i = 5 then 0 else get_u16 t.buf off in
-    sum := !sum + word
-  done;
-  let folded = ref !sum in
-  while !folded > 0xffff do
-    folded := (!folded land 0xffff) + (!folded lsr 16)
-  done;
-  lnot !folded land 0xffff
+  let b = t.buf in
+  let sum =
+    get_u16 b ip_off + get_u16 b (ip_off + 2) + get_u16 b (ip_off + 4)
+    + get_u16 b (ip_off + 6)
+    + get_u16 b (ip_off + 8)
+    + get_u16 b (ip_off + 12)
+    + get_u16 b (ip_off + 14)
+    + get_u16 b (ip_off + 16)
+    + get_u16 b (ip_off + 18)
+  in
+  let sum = (sum land 0xffff) + (sum lsr 16) in
+  let sum = (sum land 0xffff) + (sum lsr 16) in
+  lnot sum land 0xffff
 
 let install_checksum t = set_u16 t.buf (ip_off + 10) (ipv4_checksum_compute t)
 
@@ -62,15 +64,29 @@ let ipv4_checksum_ok t =
 
 (* --- Crafting ------------------------------------------------------- *)
 
+(* Deterministic payload: byte [i] of the payload is [i land 0xff], so
+   any payload is a whole number of copies of this 256-byte ramp plus a
+   prefix — filled by blits rather than a byte-at-a-time loop. *)
+let payload_pattern = Bytes.init 256 Char.chr
+
+let fill_payload b pos bytes =
+  let full = bytes / 256 in
+  for k = 0 to full - 1 do
+    Bytes.blit payload_pattern 0 b (pos + (k * 256)) 256
+  done;
+  Bytes.blit payload_pattern 0 b (pos + (full * 256)) (bytes - (full * 256))
+
 let craft ~l4_protocol ~l4_header_bytes ~write_l4 t ~flow ~payload_bytes ~ttl =
   let total = eth_header_bytes + ipv4_header_bytes + l4_header_bytes + payload_bytes in
   if total > Bytes.length t.buf then invalid_arg "Packet.craft: buffer too small";
   if ttl < 0 || ttl > 255 then invalid_arg "Packet.craft: bad TTL";
   let b = t.buf in
+  let src = Int32.to_int flow.Flow.src_ip land 0xFFFFFFFF in
+  let dst = Int32.to_int flow.Flow.dst_ip land 0xFFFFFFFF in
   (* Ethernet: synthetic MACs derived from the IPs; ethertype IPv4. *)
   for i = 0 to 5 do
-    set_u8 b i (Int32.to_int flow.Flow.dst_ip lsr (8 * (i mod 4)));
-    set_u8 b (6 + i) (Int32.to_int flow.Flow.src_ip lsr (8 * (i mod 4)))
+    set_u8 b i (dst lsr (8 * (i mod 4)));
+    set_u8 b (6 + i) (src lsr (8 * (i mod 4)))
   done;
   set_u16 b 12 0x0800;
   (* IPv4. *)
@@ -82,16 +98,12 @@ let craft ~l4_protocol ~l4_header_bytes ~write_l4 t ~flow ~payload_bytes ~ttl =
   set_u8 b (ip_off + 8) ttl;
   set_u8 b (ip_off + 9) l4_protocol;
   set_u16 b (ip_off + 10) 0 (* checksum, installed below *);
-  set_u32 b (ip_off + 12) flow.Flow.src_ip;
-  set_u32 b (ip_off + 16) flow.Flow.dst_ip;
+  set_u32_int b (ip_off + 12) src;
+  set_u32_int b (ip_off + 16) dst;
   (* L4. *)
   let l4 = ip_off + ipv4_header_bytes in
   write_l4 b l4 flow;
-  (* Deterministic payload. *)
-  let pay = l4 + l4_header_bytes in
-  for i = 0 to payload_bytes - 1 do
-    set_u8 b (pay + i) (i land 0xff)
-  done;
+  fill_payload b (l4 + l4_header_bytes) payload_bytes;
   t.len <- total;
   install_checksum t
 
@@ -114,8 +126,8 @@ let craft_tcp t ~flow ~payload_bytes ~ttl =
     ~write_l4:(fun b l4 flow ->
       set_u16 b l4 flow.Flow.src_port;
       set_u16 b (l4 + 2) flow.Flow.dst_port;
-      set_u32 b (l4 + 4) 0l (* seq *);
-      set_u32 b (l4 + 8) 0l (* ack *);
+      set_u32_int b (l4 + 4) 0 (* seq *);
+      set_u32_int b (l4 + 8) 0 (* ack *);
       set_u8 b (l4 + 12) (5 lsl 4) (* data offset *);
       set_u8 b (l4 + 13) 0x18 (* PSH|ACK *);
       set_u16 b (l4 + 14) 0xffff (* window *);
@@ -128,9 +140,12 @@ let ethertype t =
   if t.len < eth_header_bytes then invalid_arg "Packet: truncated Ethernet header";
   get_u16 t.buf 12
 
-let protocol t =
+let protocol_number t =
   check_ipv4 t;
-  match get_u8 t.buf (ip_off + 9) with
+  get_u8 t.buf (ip_off + 9)
+
+let protocol t =
+  match protocol_number t with
   | 6 -> Flow.Tcp
   | 17 -> Flow.Udp
   | p -> invalid_arg (Printf.sprintf "Packet: unsupported IP protocol %d" p)
@@ -142,25 +157,39 @@ let flow_of t =
   let protocol = protocol t in
   if t.len < l4_off + 4 then invalid_arg "Packet: truncated L4 header";
   Flow.make
-    ~src_ip:(get_u32 t.buf (ip_off + 12))
-    ~dst_ip:(get_u32 t.buf (ip_off + 16))
+    ~src_ip:(Int32.of_int (get_u32_int t.buf (ip_off + 12)))
+    ~dst_ip:(Int32.of_int (get_u32_int t.buf (ip_off + 16)))
     ~src_port:(get_u16 t.buf l4_off)
     ~dst_port:(get_u16 t.buf (l4_off + 2))
     ~protocol
+
+(* The packed flow key straight off the wire: no [Flow.t] record, no
+   [int32], just immediate ints — the parse the batch sidecar caches. *)
+let flow_key t =
+  if ethertype t <> 0x0800 then invalid_arg "Packet: not IPv4 ethertype";
+  let proto = protocol_number t in
+  if proto <> 6 && proto <> 17 then
+    invalid_arg (Printf.sprintf "Packet: unsupported IP protocol %d" proto);
+  if t.len < l4_off + 4 then invalid_arg "Packet: truncated L4 header";
+  Flow.Key.pack
+    ~src_ip:(get_u32_int t.buf (ip_off + 12))
+    ~dst_ip:(get_u32_int t.buf (ip_off + 16))
+    ~src_port:(get_u16 t.buf l4_off)
+    ~dst_port:(get_u16 t.buf (l4_off + 2))
+    ~proto
 
 let ttl t =
   check_ipv4 t;
   get_u8 t.buf (ip_off + 8)
 
-(* RFC 1624 incremental checksum update for a 16-bit word change. *)
+(* RFC 1624 incremental checksum update for a 16-bit word change. The
+   sum of three 16-bit quantities carries at most twice. *)
 let update_checksum_word t ~old_word ~new_word =
   let csum = get_u16 t.buf (ip_off + 10) in
   let sum = (lnot csum land 0xffff) + (lnot old_word land 0xffff) + new_word in
-  let folded = ref sum in
-  while !folded > 0xffff do
-    folded := (!folded land 0xffff) + (!folded lsr 16)
-  done;
-  set_u16 t.buf (ip_off + 10) (lnot !folded land 0xffff)
+  let sum = (sum land 0xffff) + (sum lsr 16) in
+  let sum = (sum land 0xffff) + (sum lsr 16) in
+  set_u16 t.buf (ip_off + 10) (lnot sum land 0xffff)
 
 let set_ttl t v =
   check_ipv4 t;
@@ -169,27 +198,36 @@ let set_ttl t v =
   set_u8 t.buf (ip_off + 8) v;
   update_checksum_word t ~old_word ~new_word:(get_u16 t.buf (ip_off + 8))
 
-let dst_ip t =
-  check_ipv4 t;
-  get_u32 t.buf (ip_off + 16)
+(* Unboxed 32-bit address accessors: the values stay immediate ints on
+   the data path (Maglev backend steering, NAT rewrites); the [int32]
+   variants below wrap these for the external API. *)
 
-let set_dst_ip t v =
+let dst_ip_int t =
+  check_ipv4 t;
+  get_u32_int t.buf (ip_off + 16)
+
+let set_dst_ip_int t v =
   check_ipv4 t;
   let old_hi = get_u16 t.buf (ip_off + 16) and old_lo = get_u16 t.buf (ip_off + 18) in
-  set_u32 t.buf (ip_off + 16) v;
+  set_u32_int t.buf (ip_off + 16) v;
   update_checksum_word t ~old_word:old_hi ~new_word:(get_u16 t.buf (ip_off + 16));
   update_checksum_word t ~old_word:old_lo ~new_word:(get_u16 t.buf (ip_off + 18))
 
-let src_ip t =
+let src_ip_int t =
   check_ipv4 t;
-  get_u32 t.buf (ip_off + 12)
+  get_u32_int t.buf (ip_off + 12)
 
-let set_src_ip t v =
+let set_src_ip_int t v =
   check_ipv4 t;
   let old_hi = get_u16 t.buf (ip_off + 12) and old_lo = get_u16 t.buf (ip_off + 14) in
-  set_u32 t.buf (ip_off + 12) v;
+  set_u32_int t.buf (ip_off + 12) v;
   update_checksum_word t ~old_word:old_hi ~new_word:(get_u16 t.buf (ip_off + 12));
   update_checksum_word t ~old_word:old_lo ~new_word:(get_u16 t.buf (ip_off + 14))
+
+let dst_ip t = Int32.of_int (dst_ip_int t)
+let set_dst_ip t v = set_dst_ip_int t (Int32.to_int v land 0xFFFFFFFF)
+let src_ip t = Int32.of_int (src_ip_int t)
+let set_src_ip t v = set_src_ip_int t (Int32.to_int v land 0xFFFFFFFF)
 
 let src_port t =
   ignore (protocol t);
@@ -251,8 +289,8 @@ let encap_gre t ~outer_src ~outer_dst =
   set_u8 b (ip_off + 8) 64;
   set_u8 b (ip_off + 9) 47;
   set_u16 b (ip_off + 10) 0;
-  set_u32 b (ip_off + 12) outer_src;
-  set_u32 b (ip_off + 16) outer_dst;
+  set_u32_int b (ip_off + 12) (Int32.to_int outer_src land 0xFFFFFFFF);
+  set_u32_int b (ip_off + 16) (Int32.to_int outer_dst land 0xFFFFFFFF);
   install_checksum t;
   (* Minimal GRE header: no flags, protocol type IPv4. *)
   set_u16 b (ip_off + ipv4_header_bytes) 0;

@@ -45,6 +45,11 @@ val ethertype : t -> int
 val flow_of : t -> Flow.t
 (** Extract the connection 5-tuple. *)
 
+val flow_key : t -> Flow.Key.t
+(** The packed immediate key of the 5-tuple, read straight off the
+    wire without materialising a {!Flow.t} (or any [int32]). Equals
+    [Flow.Key.of_flow (flow_of t)]; raises like {!flow_of}. *)
+
 val ttl : t -> int
 val set_ttl : t -> int -> unit
 (** Updates the checksum incrementally (RFC 1624). *)
@@ -57,6 +62,18 @@ val set_dst_ip : t -> int32 -> unit
 val src_ip : t -> int32
 val set_src_ip : t -> int32 -> unit
 (** Rewrites the source address (NAT) and fixes the checksum. *)
+
+(** {3 Unboxed address accessors}
+
+    The same four operations with the address as a raw unsigned 32-bit
+    value in an immediate [int] — what the hot path (Maglev steering,
+    NAT rewrites, checksum installs) uses so that no [Int32] is boxed
+    per packet. The [int32] accessors above are wrappers over these. *)
+
+val dst_ip_int : t -> int
+val set_dst_ip_int : t -> int -> unit
+val src_ip_int : t -> int
+val set_src_ip_int : t -> int -> unit
 
 val dst_port : t -> int
 val set_dst_port : t -> int -> unit

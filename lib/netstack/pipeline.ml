@@ -36,11 +36,16 @@ type t = {
   n_stages : int;
   skipped : bool array;  (* degraded stages the batch routes around *)
   tele : tele option;
+  mutable scratch : Packet.t array;  (* isolated-mode in-flight snapshots, reused *)
   mutable batches_ok : int;
   mutable batches_failed : int;
   mutable batches_degraded : int;
   mutable last_error : int option;
 }
+
+(* Fills unused scratch slots; never dereferenced (guarded by the
+   snapshot length). *)
+let null_packet = { Packet.buf = Bytes.create 0; len = 0; addr = 0L; slot = -1 }
 
 let prepare_isolated mgr stages =
   List.map
@@ -114,6 +119,7 @@ let create ~engine ~mode stages =
     n_stages = List.length stages;
     skipped = Array.make (List.length stages) false;
     tele = make_tele engine stages;
+    scratch = [||];
     batches_ok = 0;
     batches_failed = 0;
     batches_degraded = 0;
@@ -130,27 +136,31 @@ let mode_name t =
   | Tagged -> "tagged"
 
 (* Deep-copy every packet of the batch into fresh buffers (the next
-   domain's private heap) and release the originals. *)
+   domain's private heap) and release the originals. The copies are
+   byte-identical, so the flow-key sidecar transfers verbatim. *)
 let copy_batch engine batch =
   let clock = Engine.clock engine in
   let pool = Engine.pool engine in
-  let ps = Batch.take_all batch in
-  let fresh = Batch.create ~capacity:(max 1 (List.length ps)) in
-  List.iter
-    (fun (src : Packet.t) ->
-      match Mempool.alloc pool with
-      | None ->
-        (* Pool pressure from double-buffering: drop the packet. *)
-        Mempool.free pool src
-      | Some dst ->
-        Bytes.blit src.Packet.buf 0 dst.Packet.buf 0 src.Packet.len;
-        dst.Packet.len <- src.Packet.len;
-        Engine.touch_packet engine src ~off:0 ~bytes:src.Packet.len;
-        Engine.touch_packet_write engine dst ~off:0 ~bytes:src.Packet.len;
-        Cycles.Clock.charge clock (Copy src.Packet.len);
-        Mempool.free pool src;
-        Batch.push fresh dst)
-    ps;
+  let n = Batch.length batch in
+  let fresh = Batch.create ~capacity:(max 1 n) in
+  for i = 0 to n - 1 do
+    let src = Batch.get batch i in
+    if not (Mempool.alloc_into pool fresh) then
+      (* Pool pressure from double-buffering: drop the packet. *)
+      Mempool.free pool src
+    else begin
+      let j = Batch.length fresh - 1 in
+      let dst = Batch.get fresh j in
+      Bytes.blit src.Packet.buf 0 dst.Packet.buf 0 src.Packet.len;
+      dst.Packet.len <- src.Packet.len;
+      Engine.touch_packet engine src ~off:0 ~bytes:src.Packet.len;
+      Engine.touch_packet_write engine dst ~off:0 ~bytes:src.Packet.len;
+      Cycles.Clock.charge clock (Copy src.Packet.len);
+      Mempool.free pool src;
+      Batch.blit_flow batch i fresh j
+    end
+  done;
+  Batch.clear batch;
   fresh
 
 (* Stage [i] turned [in_len] packets into [out_len]: everything that
@@ -163,24 +173,37 @@ let record_stage t i ~in_len ~out_len =
     Telemetry.Counter.add st.st_processed out_len;
     if in_len > out_len then Telemetry.Counter.add st.st_drops (in_len - out_len)
 
+(* The per-batch inner loop is a plain [for] over the stage array —
+   no [Array.iteri] closure, no per-batch environment capture. *)
 let exec_calls t stages batch =
   let clock = Engine.clock t.engine in
   let current = ref batch in
-  Array.iteri
-    (fun i (stage : Stage.t) ->
-      if not t.skipped.(i) then begin
-        (* Measured before [copy_batch]: a pool-pressure drop during
-           the copy is charged to the stage about to run. *)
-        let in_len = Batch.length !current in
-        (match t.mode with
-        | Copying -> current := copy_batch t.stage_engine !current
-        | Direct | Tagged | Isolated _ -> ());
-        Cycles.Clock.charge clock Call;
-        current := stage.Stage.process t.stage_engine !current;
-        record_stage t i ~in_len ~out_len:(Batch.length !current)
-      end)
-    stages;
+  for i = 0 to Array.length stages - 1 do
+    if not t.skipped.(i) then begin
+      (* Measured before [copy_batch]: a pool-pressure drop during
+         the copy is charged to the stage about to run. *)
+      let in_len = Batch.length !current in
+      (match t.mode with
+      | Copying -> current := copy_batch t.stage_engine !current
+      | Direct | Tagged | Isolated _ -> ());
+      Cycles.Clock.charge clock Call;
+      current := stages.(i).Stage.process t.stage_engine !current;
+      record_stage t i ~in_len ~out_len:(Batch.length !current)
+    end
+  done;
   Ok !current
+
+(* Snapshot the batch's packets into the pipeline's reusable scratch
+   array (grown to the high-water mark once, then allocation-free)
+   instead of materialising a list per stage entry. *)
+let snapshot_in_flight t batch =
+  let n = Batch.length batch in
+  if Array.length t.scratch < n then
+    t.scratch <- Array.make (max n (2 * Array.length t.scratch)) null_packet;
+  for i = 0 to n - 1 do
+    t.scratch.(i) <- Batch.get batch i
+  done;
+  n
 
 let exec_isolated t cells batch =
   let pool = Engine.pool t.engine in
@@ -192,7 +215,7 @@ let exec_isolated t cells batch =
       (* Snapshot buffers so they can be reclaimed if the stage panics
          while owning the batch; the allocation watermark additionally
          catches buffers the stage allocates itself before panicking. *)
-      let in_flight = Batch.packets batch in
+      let in_len = snapshot_in_flight t batch in
       let watermark = Mempool.mark pool in
       let owned = Linear.Own.create ~label:"batch" batch in
       match
@@ -200,18 +223,21 @@ let exec_isolated t cells batch =
             stage.Stage.process t.stage_engine b)
       with
       | Ok batch' ->
-        record_stage t i ~in_len:(List.length in_flight) ~out_len:(Batch.length batch');
+        record_stage t i ~in_len ~out_len:(Batch.length batch');
         go (i + 1) batch'
       | Error e ->
         t.last_error <- Some i;
-        record_stage t i ~in_len:(List.length in_flight) ~out_len:0;
+        record_stage t i ~in_len ~out_len:0;
         (* The failed domain's resources (here: the in-flight packet
            buffers) are reclaimed by the management plane. Only buffers
            the stage still held are reclaimed — it may already have
            released some before panicking — plus whatever it allocated
            after entry (the watermark sweep), which would otherwise
            leak. *)
-        List.iter (fun p -> if Mempool.is_allocated pool p then Mempool.free pool p) in_flight;
+        for k = 0 to in_len - 1 do
+          let p = t.scratch.(k) in
+          if Mempool.is_allocated pool p then Mempool.free pool p
+        done;
         ignore (Mempool.reclaim_since pool watermark);
         Error e
     end

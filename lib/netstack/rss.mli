@@ -33,6 +33,11 @@ val queue : t -> Flow.t -> int
 
 val queue_of_packet : t -> Packet.t -> int
 
+val bucket_of_key : t -> Flow.Key.t -> int
+val queue_of_key : t -> Flow.Key.t -> int
+(** Steering decisions from a packed flow key (batch sidecar or
+    {!Packet.flow_key}) without materialising a {!Flow.t}. *)
+
 val retarget : t -> bucket:int -> queue:int -> unit
 (** Re-point one indirection bucket (how real NICs rebalance under
     skew). Not used by the deterministic scaling experiment — moving a

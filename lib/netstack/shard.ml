@@ -369,7 +369,7 @@ let run_queue_round t q =
           here, and the batch is rejected while a stage is down. *)
        match Faultinj.Supervisor.admit fy.fy_super with
        | `Drop ->
-         Nic.free_packets q.q_nic (Batch.take_all b);
+         Nic.drop_batch q.q_nic b;
          q.q_dropped <- q.q_dropped + len
        | `Serve skips -> (
          match Pipeline.run q.q_pipe b with
