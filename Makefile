@@ -1,5 +1,5 @@
-.PHONY: all build test bench bench-quick bench-json stats scale scale-determinism \
-	storm storm-determinism examples doc clean loc
+.PHONY: all build test bench bench-quick bench-json bench-gate ckpt-incr ckpt-incr-golden \
+	stats scale scale-determinism storm storm-determinism examples doc clean loc
 
 all: build test
 
@@ -19,9 +19,27 @@ bench-quick:
 	dune exec bench/main.exe -- --quick
 
 # Wall-clock trajectory: Bechamel microbenchmarks + pipeline Mpps,
-# serialized to BENCH_netstack.json at the repo root.
+# serialized to BENCH_netstack.json at the repo root, plus a dated
+# line appended to BENCH_history.jsonl (the cross-commit trajectory).
 bench-json:
 	dune exec bench/main.exe -- --json
+
+# Regression gate: fresh wall-clock numbers vs the committed baseline,
+# +-30% tolerance per row (CI runs the same two steps).
+bench-gate:
+	cp BENCH_netstack.json /tmp/bench-baseline.json
+	dune exec bench/main.exe -- --quick --json
+	dune exec bench/gate.exe -- /tmp/bench-baseline.json BENCH_netstack.json 1.3
+
+# E16: incremental dirty-tracking checkpoints (full table with
+# wall-clock columns; the deterministic columns are golden-diffed).
+ckpt-incr:
+	dune exec bin/repro.exe -- ckpt-incr
+
+ckpt-incr-golden:
+	dune exec bin/repro.exe -- ckpt-incr --stats-only > /tmp/ckpt-incr-now.txt
+	diff test/golden/ckpt_incr_stats.txt /tmp/ckpt-incr-now.txt
+	@echo "ckpt-incr golden: OK"
 
 stats:
 	dune exec bin/repro.exe -- stats fig2 recovery rollback

@@ -1,0 +1,247 @@
+(* Bench regression gate.
+
+   Usage: gate.exe BASELINE.json FRESH.json [FACTOR]
+
+   Both files follow the BENCH_netstack.json schema (an array of
+   { "name", "ns_per_run", "mpps"? } objects). Rows are matched by
+   name; a row present in both files regresses when the fresh
+   ns_per_run exceeds the baseline by more than FACTOR (default 1.3,
+   i.e. +-30%), or — for throughput rows — when the fresh Mpps falls
+   below baseline / FACTOR. Rows that only exist on one side are
+   reported but never fail the gate, so adding a bench does not
+   require regenerating the baseline in the same commit. Exits 1 on
+   any regression. *)
+
+type entry = { name : string; ns_per_run : float; mpps : float option }
+
+(* Minimal recursive-descent parser for the subset of JSON our own
+   emitter produces (and any equivalent formatting of it). *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 'u' ->
+          (* Good enough for bench names: keep the escape verbatim. *)
+          Buffer.add_string b "\\u"
+        | Some c -> Buffer.add_char b c
+        | None -> fail "unterminated escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (elements [])
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let entries_of_file path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let json =
+    try parse text
+    with Parse_error msg ->
+      Printf.eprintf "gate: %s: %s\n" path msg;
+      exit 2
+  in
+  let entry_of = function
+    | Obj fields ->
+      let name =
+        match List.assoc_opt "name" fields with
+        | Some (Str s) -> s
+        | _ ->
+          Printf.eprintf "gate: %s: entry without a name\n" path;
+          exit 2
+      in
+      let ns =
+        match List.assoc_opt "ns_per_run" fields with
+        | Some (Num f) -> f
+        | _ ->
+          Printf.eprintf "gate: %s: %s: entry without ns_per_run\n" path name;
+          exit 2
+      in
+      let mpps = match List.assoc_opt "mpps" fields with Some (Num f) -> Some f | _ -> None in
+      { name; ns_per_run = ns; mpps }
+    | _ ->
+      Printf.eprintf "gate: %s: expected an array of objects\n" path;
+      exit 2
+  in
+  match json with
+  | Arr items -> List.map entry_of items
+  | _ ->
+    Printf.eprintf "gate: %s: expected a top-level array\n" path;
+    exit 2
+
+let () =
+  let baseline_path, fresh_path, factor =
+    match Array.to_list Sys.argv with
+    | [ _; b; f ] -> (b, f, 1.3)
+    | [ _; b; f; fac ] -> (
+      match float_of_string_opt fac with
+      | Some fac when fac >= 1.0 -> (b, f, fac)
+      | _ ->
+        prerr_endline "gate: FACTOR must be a float >= 1.0";
+        exit 2)
+    | _ ->
+      prerr_endline "usage: gate.exe BASELINE.json FRESH.json [FACTOR]";
+      exit 2
+  in
+  let baseline = entries_of_file baseline_path in
+  let fresh = entries_of_file fresh_path in
+  let regressions = ref 0 in
+  Printf.printf "bench gate: %s vs %s (tolerance %.0f%%)\n" baseline_path fresh_path
+    ((factor -. 1.0) *. 100.);
+  List.iter
+    (fun b ->
+      match List.find_opt (fun f -> String.equal f.name b.name) fresh with
+      | None -> Printf.printf "  [gone] %s (baseline only — not failing)\n" b.name
+      | Some f ->
+        let ns_bad = b.ns_per_run > 0. && f.ns_per_run > b.ns_per_run *. factor in
+        let mpps_bad =
+          match (b.mpps, f.mpps) with
+          | Some bm, Some fm -> bm > 0. && fm < bm /. factor
+          | _ -> false
+        in
+        if ns_bad || mpps_bad then begin
+          incr regressions;
+          Printf.printf "  [FAIL] %-45s %10.1f -> %10.1f ns (x%.2f)%s\n" b.name b.ns_per_run
+            f.ns_per_run
+            (f.ns_per_run /. b.ns_per_run)
+            (if mpps_bad then " [mpps regressed]" else "")
+        end
+        else
+          Printf.printf "  [ ok ] %-45s %10.1f -> %10.1f ns (x%.2f)\n" b.name b.ns_per_run
+            f.ns_per_run
+            (if b.ns_per_run > 0. then f.ns_per_run /. b.ns_per_run else 0.))
+    baseline;
+  List.iter
+    (fun f ->
+      if not (List.exists (fun b -> String.equal b.name f.name) baseline) then
+        Printf.printf "  [new ] %s (no baseline — not failing)\n" f.name)
+    fresh;
+  if !regressions > 0 then begin
+    Printf.printf "bench gate: %d regression(s) beyond +-%.0f%%\n" !regressions
+      ((factor -. 1.0) *. 100.);
+    exit 1
+  end
+  else print_endline "bench gate: ok"

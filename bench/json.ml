@@ -43,3 +43,22 @@ let write ~path entries =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string entries))
+
+(* The append-only trajectory: one JSON object per line, so the perf
+   history across commits survives the wholesale rewrite of the
+   snapshot file above. [date] is an ISO "YYYY-MM-DD" string supplied
+   by the caller (this module stays clock-free). *)
+let append_history ~path ~date entries =
+  let compact e =
+    let mpps =
+      match e.mpps with None -> "" | Some m -> Printf.sprintf ",\"mpps\":%s" (float_str m)
+    in
+    Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%s%s}" (escape e.name)
+      (float_str e.ns_per_run) mpps
+  in
+  let line =
+    Printf.sprintf "{\"date\":\"%s\",\"entries\":[%s]}\n" (escape date)
+      (String.concat "," (List.map compact entries))
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc line)

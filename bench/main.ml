@@ -27,6 +27,12 @@ let throughput_entry =
 let experiments = Experiments.Registry.all @ [ wallclock_entry; throughput_entry ]
 
 let bench_json_path = "BENCH_netstack.json"
+let bench_history_path = "BENCH_history.jsonl"
+
+let today () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
 
 (* The wall-clock trajectory: every Bechamel row plus the sustained
    pipeline throughput, serialized for trend tracking across commits. *)
@@ -43,7 +49,11 @@ let emit_json ~quick =
         tp
   in
   Json.write ~path:bench_json_path entries;
-  Printf.printf "wrote %s (%d entries)\n" bench_json_path (List.length entries)
+  Printf.printf "wrote %s (%d entries)\n" bench_json_path (List.length entries);
+  (* The snapshot file is rewritten wholesale; the dated history line
+     is what preserves the trajectory across commits. *)
+  Json.append_history ~path:bench_history_path ~date:(today ()) entries;
+  Printf.printf "appended %s\n" bench_history_path
 
 let find id = List.find_opt (fun e -> String.equal e.Experiments.Registry.id id) experiments
 

@@ -23,6 +23,18 @@ let bench_rref_invoke =
          | Ok () -> ()
          | Error _ -> assert false))
 
+(* The fast-path variant: first call validates in full and fingerprints
+   the table epoch / caller / generation / policy; later calls skip the
+   descriptor touch and policy evaluation but still run the weak
+   upgrade, so revocation semantics are unchanged. *)
+let bench_rref_invoke_cached =
+  let rref = make_counter_rref () in
+  Test.make ~name:"fig2: rref invoke (cached)"
+    (Staged.stage (fun () ->
+         match Sfi.Rref.invoke_cached rref (fun c -> incr c) with
+         | Ok () -> ()
+         | Error _ -> assert false))
+
 let bench_direct_call =
   let c = ref 0 in
   let f = Sys.opaque_identity (fun () -> incr c) in
@@ -97,11 +109,18 @@ let bench_checkpoint name strategy =
     (Staged.stage (fun () ->
          ignore (Chkpt.Checkpointable.checkpoint ~strategy Chkpt.Trie.desc db)))
 
+(* E16: steady-state incremental sync of the same 500-rule DB — the
+   O(dirty) counterpart of the full-traversal fig3 rows. *)
+let bench_incr_sync name ~dirty_pct =
+  let step = Experiments.Ckpt_incr.bench_incr ~mode:Chkpt.Incr.Serial ~dirty_pct in
+  Test.make ~name (Staged.stage step)
+
 let tests =
   Test.make_grouped ~name:"beyond-safety" ~fmt:"%s %s"
     [
       bench_direct_call;
       bench_rref_invoke;
+      bench_rref_invoke_cached;
       bench_recovery;
       bench_pipeline "e4: maglev NF batch, direct" (fun _ -> Netstack.Pipeline.Direct);
       bench_pipeline "e4: maglev NF batch, isolated" (fun env ->
@@ -118,6 +137,8 @@ let tests =
       bench_checkpoint "fig3: checkpoint 500-rule DB (rc flag)" Chkpt.Checkpointable.Rc_flag;
       bench_checkpoint "fig3: checkpoint 500-rule DB (addr set)" Chkpt.Checkpointable.Addr_set;
       bench_checkpoint "fig3: checkpoint 500-rule DB (naive)" Chkpt.Checkpointable.Naive;
+      bench_incr_sync "e16: incremental sync 500-rule DB (1% dirty)" ~dirty_pct:1;
+      bench_incr_sync "e16: incremental sync 500-rule DB (10% dirty)" ~dirty_pct:10;
     ]
 
 (* Sorted [(name, ns_per_run)] rows — the JSON emitter and the printed

@@ -288,6 +288,60 @@ let storm_cmd =
   Cmd.v (Cmd.info "storm" ~doc)
     Term.(const run $ policy $ shards $ queues $ rounds $ batch $ rate $ seed $ stats_only)
 
+let ckpt_incr_cmd =
+  let doc =
+    "Run the incremental-checkpoint experiment (E16): the fig3 firewall database under a \
+     dirty tracker, swept over dirty ratio x {serial, parallel} shadow sync, with restore \
+     byte-identity checked against the render at the sync point."
+  in
+  let dirty =
+    let doc = "Dirty ratios to sweep, in percent, comma-separated." in
+    Arg.(
+      value
+      & opt (list int) Experiments.Ckpt_incr.default_dirty_pcts
+      & info [ "dirty"; "d" ] ~docv:"PCT,PCT,..." ~doc)
+  in
+  let iters =
+    let doc = "Measured sync rounds per variant." in
+    Arg.(value & opt int 30 & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let full_iters =
+    let doc = "Full-traversal baseline checkpoints to average." in
+    Arg.(value & opt int 12 & info [ "full-iters" ] ~docv:"N" ~doc)
+  in
+  let stats_only =
+    let doc =
+      "Print only the deterministic columns (dirty/reused node counts, ratio gauge, restore \
+       byte-identity, sharing) — no wall-clock anywhere — so runs can be diffed \
+       byte-for-byte against test/golden/ckpt_incr_stats.txt."
+    in
+    Arg.(value & flag & info [ "stats-only" ] ~doc)
+  in
+  let run dirty iters full_iters stats_only =
+    (match List.find_opt (fun p -> p < 0 || p > 100) dirty with
+    | Some p ->
+      Printf.eprintf "repro ckpt-incr: invalid dirty ratio %d (need 0 <= pct <= 100)\n" p;
+      exit 1
+    | None -> ());
+    if iters <= 0 || full_iters <= 0 then begin
+      prerr_endline "repro ckpt-incr: --iters and --full-iters must be positive";
+      exit 1
+    end;
+    if stats_only then
+      (* Skip the wall-clock baseline entirely: the deterministic
+         columns are a pure function of the database and the dirty
+         sweep, which is what makes the golden diff meaningful. *)
+      let _, rows =
+        Experiments.Ckpt_incr.run ~dirty_pcts:dirty ~iters:(min iters 4) ~full_iters:1 ()
+      in
+      Experiments.Ckpt_incr.print_stats rows
+    else
+      Experiments.Ckpt_incr.print
+        (Experiments.Ckpt_incr.run ~dirty_pcts:dirty ~iters ~full_iters ())
+  in
+  Cmd.v (Cmd.info "ckpt-incr" ~doc)
+    Term.(const run $ dirty $ iters $ full_iters $ stats_only)
+
 let verify_cmd =
   let doc =
     "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
@@ -359,4 +413,6 @@ let () =
   in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; stats_cmd; scale_cmd; storm_cmd; verify_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; stats_cmd; scale_cmd; storm_cmd; ckpt_incr_cmd; verify_cmd ]))

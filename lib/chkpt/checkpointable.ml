@@ -6,6 +6,8 @@ type stats = {
   rc_copies : int;
   rc_dedup_hits : int;
   hash_lookups : int;
+  dirty_nodes : int;
+  reused_nodes : int;
 }
 
 (* Cross-worker deduplication for Arc cells: the first visitor installs
@@ -313,6 +315,10 @@ let checkpoint ?(strategy = Rc_flag) ?shared desc v =
       rc_copies = ctx.rc_copies;
       rc_dedup_hits = ctx.rc_dedup_hits;
       hash_lookups = ctx.hash_lookups;
+      (* A full traversal copies everything: all nodes are "dirty" in
+         the incremental engine's vocabulary, none are reused. *)
+      dirty_nodes = ctx.nodes;
+      reused_nodes = 0;
     } )
 
 let copies_expected (stats : stats) ~aliases ~distinct =

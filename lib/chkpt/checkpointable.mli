@@ -99,11 +99,20 @@ val delay : (unit -> 'a t) -> 'a t
 type strategy = Naive | Addr_set | Rc_flag
 
 type stats = {
-  nodes : int;           (** Descriptor nodes visited. *)
+  nodes : int;           (** Descriptor nodes visited (or, for an
+                             incremental pass, covered: dirty + reused). *)
   rc_encounters : int;   (** Times an [rc] edge was traversed. *)
   rc_copies : int;       (** Distinct cell copies made. *)
   rc_dedup_hits : int;   (** Encounters resolved to an existing copy. *)
-  hash_lookups : int;    (** Visited-set probes ([Addr_set] only). *)
+  hash_lookups : int;    (** Visited-set probes ([Addr_set] only; the
+                             incremental engine's cell-map probes). *)
+  dirty_nodes : int;     (** Nodes actually (re)copied. A full traversal
+                             copies everything, so here this equals
+                             [nodes]; {!Incr} passes report only the
+                             mutated region. *)
+  reused_nodes : int;    (** Nodes structurally shared from the previous
+                             snapshot instead of copied (always 0 for a
+                             full traversal). *)
 }
 
 type shared_memo

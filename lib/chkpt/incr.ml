@@ -1,0 +1,110 @@
+type mode = Serial | Parallel of int
+
+type 'a tracker = {
+  value : 'a;
+  sync : mode -> Checkpointable.stats;
+  restore : unit -> Checkpointable.stats;
+  pending : unit -> int;
+  synced : unit -> bool;
+}
+
+let value t = t.value
+let sync ?(mode = Serial) t = t.sync mode
+let restore t = t.restore ()
+let pending t = t.pending ()
+let synced t = t.synced ()
+
+let stats ~nodes ~dirty ~reused : Checkpointable.stats =
+  {
+    nodes;
+    rc_encounters = 0;
+    rc_copies = 0;
+    rc_dedup_hits = 0;
+    hash_lookups = 0;
+    dirty_nodes = dirty;
+    reused_nodes = reused;
+  }
+
+(* --- Tracked flat int array ------------------------------------------ *)
+
+type iarr = {
+  data : int array;
+  chunk : int;
+  gens : int array;  (* per-chunk generation stamp *)
+  shadow : int array;
+  mutable gen : int;        (* stamp given to writes since the last sync *)
+  mutable synced_gen : int; (* chunks stamped <= this are clean *)
+  mutable has_shadow : bool;
+}
+
+let iarr ?(chunk = 16) data =
+  if chunk <= 0 then invalid_arg "Incr.iarr: chunk must be positive";
+  let n = Array.length data in
+  let chunks = max 1 ((n + chunk - 1) / chunk) in
+  {
+    data;
+    chunk;
+    gens = Array.make chunks 0;
+    shadow = Array.make n 0;
+    gen = 1;
+    synced_gen = 0;
+    has_shadow = false;
+  }
+
+let iarr_get a i = a.data.(i)
+
+let iarr_set a i v =
+  a.data.(i) <- v;
+  a.gens.(i / a.chunk) <- a.gen
+
+let iarr_chunks a = Array.length a.gens
+
+let iarr_dirty_chunks a =
+  let d = ref 0 in
+  Array.iter (fun g -> if g > a.synced_gen then incr d) a.gens;
+  !d
+
+let blit_chunk a ~src ~dst c =
+  let n = Array.length a.data in
+  let lo = c * a.chunk in
+  let len = min a.chunk (n - lo) in
+  if len > 0 then Array.blit src lo dst lo len
+
+let iarr_sync a (_mode : mode) =
+  (* Chunk copies are memcpy-cheap; fanning them across domains would
+     cost more in spawn than it saves, so Parallel degrades to serial
+     here (the trie tracker is where Parallel earns its keep). *)
+  let chunks = iarr_chunks a in
+  let dirty = ref 0 in
+  for c = 0 to chunks - 1 do
+    if a.gens.(c) > a.synced_gen || not a.has_shadow then begin
+      blit_chunk a ~src:a.data ~dst:a.shadow c;
+      incr dirty
+    end
+  done;
+  a.synced_gen <- a.gen;
+  a.gen <- a.gen + 1;
+  a.has_shadow <- true;
+  stats ~nodes:chunks ~dirty:!dirty ~reused:(chunks - !dirty)
+
+let iarr_restore a () =
+  if not a.has_shadow then invalid_arg "Incr.iarr: restore before first sync";
+  let chunks = iarr_chunks a in
+  let dirty = ref 0 in
+  for c = 0 to chunks - 1 do
+    if a.gens.(c) > a.synced_gen then begin
+      blit_chunk a ~src:a.shadow ~dst:a.data c;
+      a.gens.(c) <- a.synced_gen;
+      incr dirty
+    end
+  done;
+  stats ~nodes:chunks ~dirty:!dirty ~reused:(chunks - !dirty)
+
+let iarr_tracker a =
+  {
+    value = a;
+    sync = iarr_sync a;
+    restore = iarr_restore a;
+    pending = (fun () -> iarr_dirty_chunks a);
+    synced = (fun () -> a.has_shadow);
+  }

@@ -1,0 +1,61 @@
+(** Incremental checkpointing: the linearity argument taken one step
+    further than §5.
+
+    A full {!Checkpointable.checkpoint} avoids the visited set because
+    aliasing is explicit — but it still walks the whole heap. Unique
+    ownership buys more: a uniquely-owned subgraph can only be mutated
+    {e through its one owner}, so a write barrier at the owner is
+    sufficient to know the entire subtree is clean. Structures that
+    stamp a generation on the mutated root path can therefore sync a
+    delta snapshot in O(dirty) and structurally share every clean
+    subtree with the previous snapshot (DESIGN.md §11).
+
+    A ['a tracker] is the handle to such a structure: {!Trie.tracker}
+    builds one for the firewall trie, {!iarr_tracker} for a flat array
+    with chunked dirty bits (the storm flowtab). {!Store.create_incr}
+    wraps a tracker in the ordinary snapshot/rollback interface. *)
+
+type mode =
+  | Serial
+  | Parallel of int
+      (** Fan independent dirty subtrees across this many domains
+          (structures without subtree parallelism degrade to serial). *)
+
+type 'a tracker = {
+  value : 'a;  (** The live structure; mutate it only through its own API. *)
+  sync : mode -> Checkpointable.stats;
+      (** Bring the shadow snapshot up to date. O(dirty); stats report
+          [dirty_nodes] rebuilt vs [reused_nodes] shared. *)
+  restore : unit -> Checkpointable.stats;
+      (** Roll the live structure back to the last sync, touching only
+          regions mutated since. Raises [Invalid_argument] before the
+          first sync. *)
+  pending : unit -> int;  (** Dirty units accumulated since the last sync. *)
+  synced : unit -> bool;  (** At least one sync has happened. *)
+}
+
+val value : 'a tracker -> 'a
+val sync : ?mode:mode -> 'a tracker -> Checkpointable.stats
+val restore : 'a tracker -> Checkpointable.stats
+val pending : 'a tracker -> int
+val synced : 'a tracker -> bool
+
+val stats : nodes:int -> dirty:int -> reused:int -> Checkpointable.stats
+(** Stats record for incremental passes (rc/hash fields zero). *)
+
+(** {2 Tracked flat int array}
+
+    Per-chunk generation stamps: a write dirties its chunk, sync/restore
+    copy only dirty chunks to/from an internal shadow array. This is the
+    storm experiment's flow table. *)
+
+type iarr
+
+val iarr : ?chunk:int -> int array -> iarr
+(** Wrap [data] (owned by the tracker from now on). Default chunk: 16
+    slots. *)
+
+val iarr_get : iarr -> int -> int
+val iarr_set : iarr -> int -> int -> unit
+val iarr_chunks : iarr -> int
+val iarr_tracker : iarr -> iarr tracker

@@ -5,10 +5,48 @@ let sum_stats (a : Checkpointable.stats) (b : Checkpointable.stats) : Checkpoint
     rc_copies = a.rc_copies + b.rc_copies;
     rc_dedup_hits = a.rc_dedup_hits + b.rc_dedup_hits;
     hash_lookups = a.hash_lookups + b.hash_lookups;
+    dirty_nodes = a.dirty_nodes + b.dirty_nodes;
+    reused_nodes = a.reused_nodes + b.reused_nodes;
   }
 
 let zero_stats : Checkpointable.stats =
-  { nodes = 0; rc_encounters = 0; rc_copies = 0; rc_dedup_hits = 0; hash_lookups = 0 }
+  {
+    nodes = 0;
+    rc_encounters = 0;
+    rc_copies = 0;
+    rc_dedup_hits = 0;
+    hash_lookups = 0;
+    dirty_nodes = 0;
+    reused_nodes = 0;
+  }
+
+(* Generic fork/join over a task array: contiguous slices, one domain
+   per slice, results in task order. The incremental snapshot engine
+   fans independent dirty subtrees through this. *)
+let map_tasks ?(workers = 4) (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let workers = max 1 (min workers n) in
+    if workers = 1 then Array.map (fun f -> f ()) tasks
+    else begin
+      let per = (n + workers - 1) / workers in
+      let slice w =
+        let lo = min n (w * per) in
+        (lo, min n (lo + per))
+      in
+      let work w () =
+        let lo, hi = slice w in
+        Array.init (hi - lo) (fun i -> tasks.(lo + i) ())
+      in
+      let handles = Array.init workers (fun w -> Domain.spawn (work w)) in
+      let results = Array.map Domain.join handles in
+      Array.init n (fun i ->
+          let w = i / per in
+          let lo, _ = slice w in
+          results.(w).(i - lo))
+    end
+  end
 
 let checkpoint_forest ?(workers = 4) desc roots =
   let n = Array.length roots in

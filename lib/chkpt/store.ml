@@ -1,42 +1,82 @@
-type 'a t = {
+type 'a full = {
   desc : 'a Checkpointable.t;
   strategy : Checkpointable.strategy;
-  tele : Tele.t option;
   mutable live : 'a;
   mutable stack : 'a list;
+}
+
+type 'a backing = Full of 'a full | Incr of { tracker : 'a Incr.tracker; mode : Incr.mode }
+
+type 'a t = {
+  backing : 'a backing;
+  tele : Tele.t option;
   mutable snapshots_taken : int;
   mutable rollbacks : int;
 }
 
 let create ?(strategy = Checkpointable.Rc_flag) ?telemetry desc live =
   let tele = Option.map Tele.v telemetry in
-  { desc; strategy; tele; live; stack = []; snapshots_taken = 0; rollbacks = 0 }
+  {
+    backing = Full { desc; strategy; live; stack = [] };
+    tele;
+    snapshots_taken = 0;
+    rollbacks = 0;
+  }
 
-let get t = t.live
-let set t v = t.live <- v
+let create_incr ?(mode = Incr.Serial) ?telemetry tracker =
+  let tele = Option.map Tele.v telemetry in
+  { backing = Incr { tracker; mode }; tele; snapshots_taken = 0; rollbacks = 0 }
+
+let get t = match t.backing with Full f -> f.live | Incr i -> i.tracker.Incr.value
+
+let set t v =
+  match t.backing with
+  | Full f -> f.live <- v
+  | Incr _ -> invalid_arg "Store.set: incremental store owns its value"
 
 let snapshot t =
-  let copy, stats = Checkpointable.checkpoint ~strategy:t.strategy t.desc t.live in
-  t.stack <- copy :: t.stack;
+  let stats =
+    match t.backing with
+    | Full f ->
+      let copy, stats = Checkpointable.checkpoint ~strategy:f.strategy f.desc f.live in
+      f.stack <- copy :: f.stack;
+      stats
+    | Incr i -> i.tracker.Incr.sync i.mode
+  in
   t.snapshots_taken <- t.snapshots_taken + 1;
   Option.iter (fun tl -> Tele.record_snapshot tl stats) t.tele;
   stats
 
 let rollback t =
-  match t.stack with
-  | [] -> invalid_arg "Store.rollback: no snapshot"
-  | snap :: _ ->
-    let copy, stats = Checkpointable.checkpoint ~strategy:t.strategy t.desc snap in
-    t.live <- copy;
-    t.rollbacks <- t.rollbacks + 1;
-    Option.iter (fun tl -> Tele.record_rollback tl stats) t.tele;
-    stats
+  let stats =
+    match t.backing with
+    | Full f -> (
+      match f.stack with
+      | [] -> invalid_arg "Store.rollback: no snapshot"
+      | snap :: _ ->
+        let copy, stats = Checkpointable.checkpoint ~strategy:f.strategy f.desc snap in
+        f.live <- copy;
+        stats)
+    | Incr i ->
+      if not (i.tracker.Incr.synced ()) then invalid_arg "Store.rollback: no snapshot";
+      i.tracker.Incr.restore ()
+  in
+  t.rollbacks <- t.rollbacks + 1;
+  Option.iter (fun tl -> Tele.record_rollback tl stats) t.tele;
+  stats
 
 let commit t =
-  match t.stack with
-  | [] -> invalid_arg "Store.commit: no snapshot"
-  | _ :: rest -> t.stack <- rest
+  match t.backing with
+  | Full f -> (
+    match f.stack with
+    | [] -> invalid_arg "Store.commit: no snapshot"
+    | _ :: rest -> f.stack <- rest)
+  | Incr _ -> invalid_arg "Store.commit: incremental store keeps one shadow snapshot"
 
-let depth t = List.length t.stack
+let depth t =
+  match t.backing with
+  | Full f -> List.length f.stack
+  | Incr i -> if i.tracker.Incr.synced () then 1 else 0
+
 let snapshots_taken t = t.snapshots_taken
 let rollbacks t = t.rollbacks

@@ -1,7 +1,10 @@
 (** Pre-resolved [chkpt.*] metric handles, shared by {!Store} and
     {!Replay}: snapshot/rollback counts, descriptor nodes traversed,
     Rc copies and dedup hits, an approximate copied-byte count
-    ({!bytes_per_node} per node), and inputs replayed on recovery. *)
+    ({!bytes_per_node} per node), inputs replayed on recovery, and the
+    incremental-engine split — [chkpt.dirty_nodes] / [chkpt.reused_nodes]
+    counters plus a [chkpt.dirty_ratio_pct] gauge holding the last
+    pass's dirty percentage. *)
 
 type t
 
@@ -13,4 +16,11 @@ val v : Telemetry.Registry.t -> t
 
 val record_snapshot : t -> Checkpointable.stats -> unit
 val record_rollback : t -> Checkpointable.stats -> unit
+
+val record_incr : t -> Checkpointable.stats -> unit
+(** Dirty/reused counters {e plus} the [dirty_ratio_pct] gauge. The
+    gauge is not additive, so only owners of a single registry should
+    call this (sharded registries merge gauges by addition; the
+    snapshot/rollback path therefore records only the counters). *)
+
 val record_replayed : t -> int -> unit

@@ -58,6 +58,37 @@ val sharing_preserved : t -> bool
     cell — holds for the original and for [Addr_set]/[Rc_flag] copies,
     fails for [Naive] copies of shared databases. *)
 
+val render : t -> string
+(** Deterministic structural dump: one line per node in preorder, cells
+    numbered in first-visit order. Captures structure, rule content and
+    leaf aliasing while ignoring tracking metadata and allocation-order
+    cell ids — two tries render equal iff they are observationally
+    identical. The byte-identity oracle for the incremental engine's
+    tests. *)
+
+(** {2 Incremental tracking}
+
+    The trie is uniquely owned, so every structural mutation passes
+    through {!insert}/{!remove}: stamping the walked root path with a
+    generation is a {e complete} dirty record (DESIGN.md §11). Hit
+    bumps from {!lookup} dirty only the rule {e cell}, which the sync
+    reconciles in place — a steady-state lookup-heavy trie stays
+    structurally clean and syncs in O(dirty cells). *)
+
+val tracker : t -> t Incr.tracker
+(** Attach dirty tracking and a shadow snapshot to the trie (write
+    barriers switch on from here; at most one tracker per trie —
+    attaching twice raises [Invalid_argument]). [sync] brings the
+    shadow up to date touching only dirty regions (serial, or fanning
+    dirty subtrees across domains with [Parallel n]); [restore] rolls
+    the live trie back to the last sync, also in O(dirty). Restored
+    state is byte-identical under {!render}, including leaf aliasing. *)
+
+val stamped_since_sync : t -> int
+(** Distinct nodes stamped dirty since the last sync — an upper bound
+    (over-approximation) on the nodes any following incremental pass
+    may rebuild; the qcheck suite checks [dirty_nodes <= stamped]. *)
+
 val desc : t Checkpointable.t
 (** The derived descriptor (what the paper's compiler plugin would
     emit for this type). *)

@@ -114,6 +114,15 @@ let all =
           Storm.print (Storm.run ~rounds ()));
     };
     {
+      id = "ckpt-incr";
+      description = "E16 (extension): incremental dirty-tracking checkpoints";
+      run =
+        (fun ~quick ->
+          let iters = if quick then 8 else 30 in
+          let full_iters = if quick then 4 else 12 in
+          Ckpt_incr.print (Ckpt_incr.run ~iters ~full_iters ()));
+    };
+    {
       id = "ablations";
       description = "A1-A3: design-choice ablations";
       run =

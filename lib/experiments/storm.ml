@@ -35,14 +35,16 @@ let default_policies =
 let flowtab_stage_index = 2
 
 (* The stateful third stage: a 256-bucket per-queue flow table wrapped
-   in a checkpoint store, snapshotted every 8 batches. On a supervised
-   restart the store's newest snapshot is rolled back in — the
-   checkpoint-restore path E15 exercises. *)
+   in a checkpoint store, snapshotted every 8 batches. The store is
+   incremental (chunk-tracked array): steady-state snapshots copy only
+   the chunks written since the last one, and a supervised restart
+   rolls back by restoring only the chunks dirtied since — the
+   O(dirty) checkpoint-restore path E15 exercises. *)
 let storm_stages ~stores (ctx : Netstack.Shard.queue_ctx) =
+  let tab = Chkpt.Incr.iarr ~chunk:16 (Array.make 256 0) in
   let store =
-    Chkpt.Store.create ~telemetry:ctx.Netstack.Shard.qc_registry
-      (Chkpt.Checkpointable.array Chkpt.Checkpointable.int)
-      (Array.make 256 0)
+    Chkpt.Store.create_incr ~telemetry:ctx.Netstack.Shard.qc_registry
+      (Chkpt.Incr.iarr_tracker tab)
   in
   (* The baseline checkpoint, so a restart in the first few batches
      still has something to restore. *)
@@ -52,14 +54,13 @@ let storm_stages ~stores (ctx : Netstack.Shard.queue_ctx) =
   let flowtab =
     Netstack.Stage.make ~name:"flowtab" (fun engine batch ->
         let clock = Netstack.Engine.clock engine in
-        let tab = Chkpt.Store.get store in
         Netstack.Batch.iter
           (fun p ->
             Netstack.Engine.touch_packet engine p ~off:Netstack.Packet.eth_header_bytes
               ~bytes:Netstack.Packet.ipv4_header_bytes;
             Cycles.Clock.charge clock (Alu 6);
             let bucket = Netstack.Flow.hash (Netstack.Packet.flow_of p) land 0xff in
-            tab.(bucket) <- tab.(bucket) + 1)
+            Chkpt.Incr.iarr_set tab bucket (Chkpt.Incr.iarr_get tab bucket + 1))
           batch;
         incr batches;
         if !batches mod 8 = 0 then ignore (Chkpt.Store.snapshot store);
