@@ -1,5 +1,6 @@
 .PHONY: all build test bench bench-quick bench-json bench-gate ckpt-incr ckpt-incr-golden \
-	stats scale scale-determinism storm storm-determinism examples doc clean loc
+	stats scale scale-determinism storm storm-determinism flowcache flowcache-golden \
+	flowcache-determinism examples doc clean loc
 
 all: build test
 
@@ -76,6 +77,31 @@ storm-determinism:
 	  done; \
 	done
 	@echo "storm determinism: OK (two runs and 1/2/4 shards byte-identical, all policies)"
+
+# E17: the megaflow flow-cache fast path (full run, with the
+# wall-clock hit-rate-vs-Mpps table appended).
+flowcache:
+	dune exec bin/repro.exe -- flowcache
+
+# The deterministic block (cached + uncached counters, merged
+# telemetry, ledger-match line) against its committed golden.
+flowcache-golden:
+	dune exec bin/repro.exe -- flowcache --stats-only > /tmp/flowcache-now.txt
+	diff test/golden/flowcache_stats.txt /tmp/flowcache-now.txt
+	@echo "flowcache golden: OK"
+
+# E17's determinism claims, mirrored by CI: the cached fast path must
+# not perturb a single virtual counter when queues are spread over
+# 1, 2 or 4 domains, and the cached/uncached ledgers must agree.
+flowcache-determinism:
+	dune exec bin/repro.exe -- flowcache --shards 1 --stats-only > /tmp/flowcache-1.txt
+	dune exec bin/repro.exe -- flowcache --shards 2 --stats-only > /tmp/flowcache-2.txt
+	dune exec bin/repro.exe -- flowcache --shards 4 --stats-only > /tmp/flowcache-4.txt
+	diff /tmp/flowcache-1.txt /tmp/flowcache-2.txt
+	diff /tmp/flowcache-1.txt /tmp/flowcache-4.txt
+	grep -q "flowcache ledger match (cached vs uncached): true" /tmp/flowcache-1.txt
+	diff test/golden/flowcache_stats.txt /tmp/flowcache-1.txt
+	@echo "flowcache determinism: OK (1/2/4 shards byte-identical, ledgers match, golden OK)"
 
 examples:
 	dune exec examples/quickstart.exe

@@ -342,6 +342,79 @@ let ckpt_incr_cmd =
   Cmd.v (Cmd.info "ckpt-incr" ~doc)
     Term.(const run $ dirty $ iters $ full_iters $ stats_only)
 
+let flowcache_cmd =
+  let doc =
+    "Run the megaflow flow-cache experiment (E17): the sharded engine over a heavy-tailed \
+     Zipf flow mix, cached vs uncached, with the cached/uncached serve/drop ledgers checked \
+     for exact agreement. The full run appends the wall-clock hit-rate-vs-Mpps table."
+  in
+  let shards =
+    let doc = "Shard (domain) count the queues are spread over." in
+    Arg.(value & opt int 1 & info [ "shards"; "n" ] ~docv:"N" ~doc)
+  in
+  let queues =
+    let doc = "RSS receive queues (fixed as shards vary)." in
+    Arg.(value & opt int Experiments.Megaflow.default_stats_queues & info [ "queues" ] ~docv:"N" ~doc)
+  in
+  let rounds =
+    let doc = "Scheduling rounds per queue." in
+    Arg.(value & opt int Experiments.Megaflow.default_stats_rounds & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let batch =
+    let doc = "Global arrivals per round." in
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let flows =
+    let doc = "Zipf flow population of the deterministic section." in
+    Arg.(value & opt int Experiments.Megaflow.default_stats_flows & info [ "flows" ] ~docv:"N" ~doc)
+  in
+  let exponent =
+    let doc = "Zipf exponent s." in
+    Arg.(value & opt float Experiments.Megaflow.default_exponent & info [ "exponent"; "s" ] ~docv:"S" ~doc)
+  in
+  let capacity =
+    let doc = "Flow-cache entries per queue (deterministic section)." in
+    Arg.(value & opt int Experiments.Megaflow.default_stats_capacity & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let stats_only =
+    let doc =
+      "Print only the deterministic counters and merged telemetry of the cached and uncached \
+       runs (no wall-clock anywhere, no shard count), so runs with different shard counts — \
+       and the golden test/golden/flowcache_stats.txt — diff byte-for-byte."
+    in
+    Arg.(value & flag & info [ "stats-only" ] ~doc)
+  in
+  let run shards queues rounds batch flows exponent capacity stats_only =
+    if shards <= 0 || shards > queues then begin
+      Printf.eprintf
+        "repro flowcache: invalid shard count %d (need 1 <= shards <= queues = %d)\n" shards
+        queues;
+      exit 1
+    end;
+    if rounds <= 0 || batch <= 0 || queues <= 0 || flows <= 0 || capacity <= 0 then begin
+      prerr_endline
+        "repro flowcache: --rounds, --batch, --queues, --flows and --capacity must be positive";
+      exit 1
+    end;
+    if exponent <= 0.0 then begin
+      prerr_endline "repro flowcache: --exponent must be positive";
+      exit 1
+    end;
+    let pair =
+      Experiments.Megaflow.run_stats_pair ~queues ~rounds ~batch_size:batch ~flows ~exponent
+        ~capacity ~shards ()
+    in
+    (* Deliberately no shard count and no wall clock anywhere in this
+       block: it must diff clean across shard counts. *)
+    Experiments.Megaflow.print_stats_pair pair;
+    if not stats_only then begin
+      print_newline ();
+      Experiments.Megaflow.print_wall (Experiments.Megaflow.run_wall ())
+    end
+  in
+  Cmd.v (Cmd.info "flowcache" ~doc)
+    Term.(const run $ shards $ queues $ rounds $ batch $ flows $ exponent $ capacity $ stats_only)
+
 let verify_cmd =
   let doc =
     "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
@@ -415,4 +488,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; stats_cmd; scale_cmd; storm_cmd; ckpt_incr_cmd; verify_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            stats_cmd;
+            scale_cmd;
+            storm_cmd;
+            ckpt_incr_cmd;
+            flowcache_cmd;
+            verify_cmd;
+          ]))

@@ -123,6 +123,11 @@ let all =
           Ckpt_incr.print (Ckpt_incr.run ~iters ~full_iters ()));
     };
     {
+      id = "flowcache";
+      description = "E17 (extension): megaflow flow-cache fast path - hit rate vs Mpps";
+      run = (fun ~quick -> Megaflow.print (Megaflow.run ~quick ()));
+    };
+    {
       id = "ablations";
       description = "A1-A3: design-choice ablations";
       run =

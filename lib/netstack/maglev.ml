@@ -7,6 +7,7 @@ type t = {
   conn : (Flow.t, int) Hashtbl.t;
   conn_addr : int64;
   conn_buckets : int;
+  mutable subscribers : (unit -> unit) list;  (* registration order *)
 }
 
 (* FNV-1a over a string, two different offset bases. *)
@@ -64,7 +65,11 @@ let create ~clock ~backends ?(table_size = 65537) () =
     conn = Hashtbl.create conn_buckets;
     conn_addr = Cycles.Clock.alloc_addr clock ~bytes:(conn_buckets * 16);
     conn_buckets;
+    subscribers = [];
   }
+
+let on_change t f = t.subscribers <- t.subscribers @ [ f ]
+let fire t = List.iter (fun f -> f ()) t.subscribers
 
 let table_size t = t.table_size
 let backend_count t = Array.length t.backends
@@ -130,7 +135,14 @@ let set_backends t backends =
   done;
   t.backends <- Array.copy backends;
   t.table <- fresh;
+  fire t;
   !changed
+
+let flush_connections t =
+  let n = Hashtbl.length t.conn in
+  Hashtbl.reset t.conn;
+  fire t;
+  n
 
 let imbalance t =
   let n = Array.length t.backends in

@@ -49,7 +49,20 @@ val table_entry : t -> int -> int
 val set_backends : t -> string array -> int
 (** Rebuild the table for a new backend set, {e preserving} existing
     connection affinities. Returns the number of lookup-table entries
-    that changed — Maglev's "minimal disruption" metric. *)
+    that changed — Maglev's "minimal disruption" metric. Fires
+    {!on_change}. *)
+
+val flush_connections : t -> int
+(** Drop every recorded flow affinity (so subsequent lookups re-steer
+    through the current table) and return how many were dropped. Fires
+    {!on_change} — unlike {!set_backends} alone, this {e does} change
+    the verdict of already-steered flows, so cached fast paths must be
+    invalidated. *)
+
+val on_change : t -> (unit -> unit) -> unit
+(** Subscribe to steering-state changes ({!set_backends},
+    {!flush_connections}); subscribers run in registration order. A
+    verdict cache ({!Flowcache}) registers its invalidation here. *)
 
 val imbalance : t -> float
 (** (max - min) / mean of per-backend table shares; the Maglev paper's

@@ -8,6 +8,7 @@ type t = {
   table_addr : int64;
   mutable next_port : int;
   mutable drops : int;
+  mutable subscribers : (unit -> unit) list;  (* registration order *)
 }
 
 let create ~clock ~external_ip ?(first_port = 10_000) ?(last_port = 60_000) () =
@@ -23,7 +24,11 @@ let create ~clock ~external_ip ?(first_port = 10_000) ?(last_port = 60_000) () =
     table_addr = Cycles.Clock.alloc_addr clock ~bytes:(64 * 1024);
     next_port = first_port;
     drops = 0;
+    subscribers = [];
   }
+
+let on_mutate t f = t.subscribers <- t.subscribers @ [ f ]
+let fire t = List.iter (fun f -> f ()) t.subscribers
 
 let external_ip t = t.external_ip
 let range_size t = t.last_port - t.first_port + 1
@@ -66,6 +71,23 @@ let translate_back t ~port =
   Cycles.Clock.charge t.clock (Alu 4);
   touch_entry t port;
   Hashtbl.find_opt t.reverse port
+
+let remove t flow =
+  match Hashtbl.find_opt t.forward flow with
+  | None -> false
+  | Some port ->
+    Hashtbl.remove t.forward flow;
+    Hashtbl.remove t.reverse port;
+    fire t;
+    true
+
+let flush t =
+  let n = Hashtbl.length t.forward in
+  Hashtbl.reset t.forward;
+  Hashtbl.reset t.reverse;
+  t.next_port <- t.first_port;
+  fire t;
+  n
 
 let stage t =
   Stage.make ~name:"snat" (fun engine batch ->

@@ -27,6 +27,23 @@ val translate : t -> Flow.t -> (int32 * int) option
 val translate_back : t -> port:int -> Flow.t option
 (** The internal flow behind an external port (return-path lookup). *)
 
+val remove : t -> Flow.t -> bool
+(** Expire one mapping (both directions), freeing its port; [false] if
+    the flow had none. Fires {!on_mutate}. *)
+
+val flush : t -> int
+(** Expire every mapping and rewind the allocator to the start of the
+    port range; returns how many mappings were dropped. Fires
+    {!on_mutate}. *)
+
+val on_mutate : t -> (unit -> unit) -> unit
+(** Subscribe to table mutations that can change an existing flow's
+    translation — {!remove} and {!flush}. Fresh allocations inside
+    {!translate} do {e not} fire: a new mapping is flow-stable from its
+    first packet, so memoised verdicts for other flows stay valid.
+    Subscribers run in registration order; a verdict cache
+    ({!Flowcache}) registers its invalidation here. *)
+
 val active_mappings : t -> int
 val ports_available : t -> int
 val drops : t -> int

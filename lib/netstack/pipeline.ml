@@ -28,6 +28,26 @@ type tele = {
   pt_stages : stage_tele array;
 }
 
+(* Fast-path working state, owned by the pipeline and reused across
+   batches (grown to the high-water mark once). [fs_disp] records each
+   input packet's disposition: [-1] replayed-and-serve, [-2]
+   replayed-and-drop, [j >= 0] the packet's index in the slow
+   sub-batch — what lets the output batch be rebuilt in exact arrival
+   order after the slow chain ran. *)
+type fc_state = {
+  fc : Flowcache.t;
+  fc_slot_map : int array;  (* pool slot -> slow index + 1; 0 = none *)
+  mutable fs_disp : int array;
+  mutable fs_guards : string array;  (* per slow index: input guard *)
+  mutable fs_keys : int array;
+  mutable fs_in_lens : int array;
+  mutable fs_slots : int array;
+  mutable fs_out_pkts : Packet.t array;  (* per slow index: surviving output *)
+  mutable fs_survived : bool array;
+  mutable fs_slow : Batch.t;
+  mutable fs_out : Batch.t;
+}
+
 type t = {
   engine : Engine.t;
   stage_engine : Engine.t;  (* Tagged: a Tagged view of [engine]; else [engine] *)
@@ -36,6 +56,7 @@ type t = {
   n_stages : int;
   skipped : bool array;  (* degraded stages the batch routes around *)
   tele : tele option;
+  fcs : fc_state option;
   mutable scratch : Packet.t array;  (* isolated-mode in-flight snapshots, reused *)
   mutable batches_ok : int;
   mutable batches_failed : int;
@@ -95,8 +116,16 @@ let make_tele engine stages =
                stages);
       }
 
-let create ~engine ~mode stages =
+let create ~engine ~mode ?flowcache stages =
   if stages = [] then invalid_arg "Pipeline.create: no stages";
+  (match (mode, flowcache) with
+  | Copying, Some _ ->
+    (* Copying re-homes every packet into fresh buffers per boundary;
+       slot-based matching of slow-path outputs to inputs (and the
+       whole premise that replay skips the per-boundary copies the
+       mode exists to measure) does not survive that. *)
+    invalid_arg "Pipeline.create: flowcache is incompatible with Copying mode"
+  | (Direct | Isolated _ | Tagged | Copying), _ -> ());
   let prepared =
     match mode with
     | Direct | Copying | Tagged -> P_calls (Array.of_list stages)
@@ -111,6 +140,24 @@ let create ~engine ~mode stages =
     | Tagged -> Engine.with_mode engine Engine.Tagged
     | Direct | Copying | Isolated _ -> engine
   in
+  let fcs =
+    Option.map
+      (fun fc ->
+        {
+          fc;
+          fc_slot_map = Array.make (Mempool.capacity (Engine.pool engine)) 0;
+          fs_disp = [||];
+          fs_guards = [||];
+          fs_keys = [||];
+          fs_in_lens = [||];
+          fs_slots = [||];
+          fs_out_pkts = [||];
+          fs_survived = [||];
+          fs_slow = Batch.create ~capacity:1;
+          fs_out = Batch.create ~capacity:1;
+        })
+      flowcache
+  in
   {
     engine;
     stage_engine;
@@ -119,6 +166,7 @@ let create ~engine ~mode stages =
     n_stages = List.length stages;
     skipped = Array.make (List.length stages) false;
     tele = make_tele engine stages;
+    fcs;
     scratch = [||];
     batches_ok = 0;
     batches_failed = 0;
@@ -244,6 +292,127 @@ let exec_isolated t cells batch =
   in
   go 0 batch
 
+let exec t batch =
+  match t.prepared with
+  | P_calls stages -> exec_calls t stages batch
+  | P_isolated (_, cells) -> exec_isolated t cells batch
+
+let flowcache t = Option.map (fun s -> s.fc) t.fcs
+let invalidate_cache t = match t.fcs with Some s -> Flowcache.invalidate s.fc | None -> ()
+
+let fc_ensure s n =
+  if Array.length s.fs_disp < n then begin
+    s.fs_disp <- Array.make n 0;
+    s.fs_guards <- Array.make n "";
+    s.fs_keys <- Array.make n 0;
+    s.fs_in_lens <- Array.make n 0;
+    s.fs_slots <- Array.make n 0;
+    s.fs_out_pkts <- Array.make n null_packet;
+    s.fs_survived <- Array.make n false
+  end;
+  if Batch.capacity s.fs_slow < n then s.fs_slow <- Batch.create ~capacity:n;
+  if Batch.capacity s.fs_out < n then s.fs_out <- Batch.create ~capacity:n
+
+(* The megaflow batch walk. Phase 1 partitions: cache hits are
+   replayed (or released) on the spot, misses are compacted into the
+   reusable slow sub-batch. Phase 2 runs the full stage chain over the
+   misses only. Phase 3 matches the chain's survivors back to their
+   inputs by pool slot (stable — stages mutate buffers in place, they
+   never re-home them; Copying mode, which would, is rejected at
+   creation), installs one fused verdict per miss, and rebuilds the
+   output batch in exact arrival order so the packet sequence is
+   byte-identical to the uncached pipeline's. *)
+let run_cached t s batch =
+  let pool = Engine.pool t.engine in
+  let n = Batch.length batch in
+  fc_ensure s n;
+  let slow = s.fs_slow and out = s.fs_out in
+  if not (Batch.is_empty slow) then Batch.clear slow;
+  if not (Batch.is_empty out) then Batch.clear out;
+  let slow_len = ref 0 in
+  for i = 0 to n - 1 do
+    let p = Batch.get batch i in
+    let key = Batch.flow_key batch i in
+    match Flowcache.access s.fc ~engine:t.engine ~key p with
+    | Flowcache.Hit_serve -> s.fs_disp.(i) <- -1
+    | Flowcache.Hit_drop ->
+      Mempool.free pool p;
+      s.fs_disp.(i) <- -2
+    | Flowcache.Miss ->
+      let j = !slow_len in
+      s.fs_disp.(i) <- j;
+      s.fs_guards.(j) <- Flowcache.guard_of s.fc p;
+      s.fs_keys.(j) <- key;
+      s.fs_in_lens.(j) <- p.Packet.len;
+      s.fs_slots.(j) <- p.Packet.slot;
+      Batch.push slow p;
+      Batch.blit_flow batch i slow j;
+      incr slow_len
+  done;
+  let slow_len = !slow_len in
+  let result = if slow_len = 0 then Ok slow else exec t slow in
+  match result with
+  | Ok slow_out ->
+    for j = 0 to slow_len - 1 do
+      s.fs_survived.(j) <- false;
+      s.fc_slot_map.(s.fs_slots.(j)) <- j + 1
+    done;
+    for k = 0 to Batch.length slow_out - 1 do
+      let p = Batch.get slow_out k in
+      if p.Packet.slot >= 0 && p.Packet.slot < Array.length s.fc_slot_map then begin
+        let jm = s.fc_slot_map.(p.Packet.slot) in
+        if jm > 0 then begin
+          s.fs_survived.(jm - 1) <- true;
+          s.fs_out_pkts.(jm - 1) <- p
+        end
+      end
+    done;
+    for j = 0 to slow_len - 1 do
+      (if s.fs_survived.(j) then begin
+         let p = s.fs_out_pkts.(j) in
+         let g = String.length s.fs_guards.(j) in
+         let delta = p.Packet.len - s.fs_in_lens.(j) in
+         (* A chain that consumed past the guard split cannot be
+            replayed as a prefix patch; leave the flow on the slow
+            path (never happens for header-only chains). *)
+         if g + delta >= 0 && g + delta <= p.Packet.len then
+           Flowcache.install_serve s.fc ~key:s.fs_keys.(j) ~guard:s.fs_guards.(j)
+             ~out_prefix:(Bytes.sub_string p.Packet.buf 0 (g + delta))
+             ~delta
+       end
+       else Flowcache.install_drop s.fc ~key:s.fs_keys.(j) ~guard:s.fs_guards.(j));
+      s.fc_slot_map.(s.fs_slots.(j)) <- 0
+    done;
+    for i = 0 to n - 1 do
+      let d = s.fs_disp.(i) in
+      if d = -1 then Batch.push out (Batch.get batch i)
+      else if d >= 0 && s.fs_survived.(d) then begin
+        Batch.push out s.fs_out_pkts.(d);
+        s.fs_out_pkts.(d) <- null_packet
+      end
+    done;
+    Batch.clear batch;
+    Batch.clear slow_out;
+    if not (slow_out == slow) then Batch.clear slow;
+    Ok out
+  | Error e ->
+    (* Converge with the uncached failure semantics: the whole batch is
+       lost. The slow sub-batch was reclaimed by the isolated error
+       path and fast drops were already released; the fast-served
+       packets still in our hands go back to the pool here. The chain
+       may have died mid-batch with stage state part-mutated, so every
+       memoised verdict is suspect: invalidate. *)
+    for i = 0 to n - 1 do
+      if s.fs_disp.(i) = -1 then Mempool.free pool (Batch.get batch i)
+    done;
+    for j = 0 to slow_len - 1 do
+      s.fc_slot_map.(s.fs_slots.(j)) <- 0
+    done;
+    Batch.clear batch;
+    Batch.clear slow;
+    Flowcache.invalidate s.fc;
+    Error e
+
 let run t batch =
   t.last_error <- None;
   (match t.tele with
@@ -252,9 +421,9 @@ let run t batch =
     Telemetry.Counter.add tl.pt_packets_in (Batch.length batch)
   | None -> ());
   let body () =
-    match t.prepared with
-    | P_calls stages -> exec_calls t stages batch
-    | P_isolated (_, cells) -> exec_isolated t cells batch
+    match t.fcs with
+    | Some s -> run_cached t s batch
+    | None -> exec t batch
   in
   let result =
     match t.tele with
@@ -282,6 +451,9 @@ let recover_stage t i =
   | P_calls _ -> invalid_arg "Pipeline.recover_stage: pipeline is not isolated"
   | P_isolated (mgr, cells) ->
     if i < 0 || i >= Array.length cells then invalid_arg "Pipeline.recover_stage: bad index";
+    (* A restarted stage may come back with rebuilt state; memoised
+       verdicts from its previous incarnation must not survive it. *)
+    invalidate_cache t;
     Sfi.Manager.recover mgr cells.(i).domain
 
 let failed_stage t =
@@ -310,10 +482,17 @@ let stage_domain t i =
 let revoke_stage t i =
   let cells = isolated_cells "revoke_stage" t in
   if i < 0 || i >= Array.length cells then invalid_arg "Pipeline.revoke_stage: bad index";
+  (* Without this, a batch of pure cache hits would never invoke the
+     revoked stage and so never observe the revocation — the cached
+     engine would keep serving while the uncached one fails. *)
+  invalidate_cache t;
   Sfi.Rref.revoke cells.(i).rref
 
 let set_stage_skipped t i v =
   if i < 0 || i >= t.n_stages then invalid_arg "Pipeline.set_stage_skipped: bad index";
+  (* Skipping (or un-skipping) a stage changes the effective chain
+     every memoised verdict was computed against. *)
+  if t.skipped.(i) <> v then invalidate_cache t;
   t.skipped.(i) <- v
 
 let stage_skipped t i =

@@ -35,8 +35,24 @@ type mode =
 
 type t
 
-val create : engine:Engine.t -> mode:mode -> Stage.t list -> t
-(** Raises [Invalid_argument] on an empty stage list. *)
+val create : engine:Engine.t -> mode:mode -> ?flowcache:Flowcache.t -> Stage.t list -> t
+(** Raises [Invalid_argument] on an empty stage list.
+
+    [flowcache] arms the megaflow fast path: {!run} first replays every
+    packet with a valid cache entry (serving or dropping it without
+    invoking any stage), pushes only the misses through the chain as a
+    compacted slow sub-batch, memoises each miss's fused outcome, and
+    re-assembles the output in exact arrival order. The pipeline owns
+    the cache's lifecycle invalidations — {!revoke_stage},
+    {!recover_stage}, a {!set_stage_skipped} transition and a failed
+    {!run} all invalidate, so a revoked/restarted/degraded chain never
+    serves stale verdicts; chain-{e state} owners (rule DBs, NAT and
+    backend tables) must additionally register
+    {!Flowcache.invalidate} on their own mutation hooks. Raises
+    [Invalid_argument] in [Copying] mode, whose per-boundary buffer
+    re-homing the slot-matched install path cannot support. *)
+
+val flowcache : t -> Flowcache.t option
 
 val length : t -> int
 val mode_name : t -> string

@@ -1,0 +1,137 @@
+type action = Accept | Drop
+
+type rule = {
+  r_src : (int32 * int) option;
+  r_dst : (int32 * int) option;
+  r_src_port : (int * int) option;
+  r_dst_port : (int * int) option;
+  r_proto : Flow.protocol option;
+  r_action : action;
+}
+
+let rule ?src ?dst ?src_port ?dst_port ?proto action =
+  {
+    r_src = src;
+    r_dst = dst;
+    r_src_port = src_port;
+    r_dst_port = dst_port;
+    r_proto = proto;
+    r_action = action;
+  }
+
+(* Rules are modelled as 16-byte TCAM-ish entries packed 4 per cache
+   line; the scan touches a line every four rules examined. *)
+let rule_bytes = 16
+let table_capacity = 4096
+
+type t = {
+  clock : Cycles.Clock.t;
+  table_addr : int64;
+  mutable rules : rule array;
+  mutable count : int;
+  mutable default : action;
+  mutable subscribers : (unit -> unit) list;  (* registration order *)
+}
+
+let create ~clock ?(default = Accept) () =
+  {
+    clock;
+    table_addr = Cycles.Clock.alloc_addr clock ~bytes:(table_capacity * rule_bytes);
+    rules = Array.make 16 (rule Accept);
+    count = 0;
+    default;
+    subscribers = [];
+  }
+
+let rule_count t = t.count
+let default_action t = t.default
+let on_mutate t f = t.subscribers <- t.subscribers @ [ f ]
+let fire t = List.iter (fun f -> f ()) t.subscribers
+
+let validate r =
+  let prefix = function
+    | None -> ()
+    | Some (_, bits) ->
+      if bits < 0 || bits > 32 then invalid_arg "Ruledb: prefix bits out of range"
+  in
+  let range = function
+    | None -> ()
+    | Some (lo, hi) ->
+      if lo < 0 || hi > 0xffff || lo > hi then invalid_arg "Ruledb: bad port range"
+  in
+  prefix r.r_src;
+  prefix r.r_dst;
+  range r.r_src_port;
+  range r.r_dst_port
+
+let add t r =
+  validate r;
+  if t.count >= table_capacity then invalid_arg "Ruledb.add: table full";
+  if t.count = Array.length t.rules then begin
+    let bigger = Array.make (2 * Array.length t.rules) r in
+    Array.blit t.rules 0 bigger 0 t.count;
+    t.rules <- bigger
+  end;
+  t.rules.(t.count) <- r;
+  t.count <- t.count + 1;
+  fire t
+
+let remove t i =
+  if i < 0 || i >= t.count then invalid_arg "Ruledb.remove: out of range";
+  Array.blit t.rules (i + 1) t.rules i (t.count - i - 1);
+  t.count <- t.count - 1;
+  fire t
+
+let set_default t a =
+  t.default <- a;
+  fire t
+
+let prefix_matches ip = function
+  | None -> true
+  | Some (prefix, bits) ->
+    bits = 0
+    ||
+    let mask = Int32.shift_left (-1l) (32 - bits) in
+    Int32.equal (Int32.logand ip mask) (Int32.logand prefix mask)
+
+let range_matches v = function None -> true | Some (lo, hi) -> v >= lo && v <= hi
+
+let proto_matches p = function None -> true | Some q -> p = q
+
+let rule_matches r (f : Flow.t) =
+  prefix_matches f.src_ip r.r_src
+  && prefix_matches f.dst_ip r.r_dst
+  && range_matches f.src_port r.r_src_port
+  && range_matches f.dst_port r.r_dst_port
+  && proto_matches f.protocol r.r_proto
+
+let classify t flow =
+  let rec scan i =
+    if i >= t.count then t.default
+    else begin
+      if i land 3 = 0 then
+        Cycles.Clock.touch t.clock
+          (Int64.add t.table_addr (Int64.of_int (i * rule_bytes)))
+          ~bytes:rule_bytes;
+      Cycles.Clock.charge t.clock (Alu 3);
+      if rule_matches t.rules.(i) flow then begin
+        Cycles.Clock.charge t.clock Branch_miss;
+        t.rules.(i).r_action
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let stage t =
+  Stage.make ~name:"ruledb" (fun engine batch ->
+      let dropped =
+        Batch.filteri_in_place batch (fun i p ->
+            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+              ~bytes:(Packet.ipv4_header_bytes + 4);
+            match classify t (Batch.flow batch i) with
+            | Accept -> true
+            | Drop -> false)
+      in
+      List.iter (fun p -> Mempool.free (Engine.pool engine) p) dropped;
+      batch)

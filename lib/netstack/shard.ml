@@ -10,6 +10,7 @@ type queue_ctx = {
   qc_queue : int;
   qc_clock : Cycles.Clock.t;
   qc_registry : Telemetry.Registry.t;
+  qc_flowcache : Flowcache.t option;
 }
 
 type fault_spec = {
@@ -32,6 +33,11 @@ let default_faults ?(rate = 0.05) ?(seed = 4242L) ?(kinds = Faultinj.Plan.all_ki
     f_on_restart = on_restart;
   }
 
+type cache_spec = {
+  c_capacity : int;
+  c_ttl_cycles : int64;
+}
+
 type spec = {
   shards : int;
   queues : int;
@@ -44,13 +50,15 @@ type spec = {
   mode : mode;
   stages : queue_ctx -> Stage.t list;
   faults : fault_spec option;
+  traffic : Traffic.plan option;
+  cache : cache_spec option;
 }
 
 let default_spec ?(shards = 1) ?(queues = 8) ?(rounds = 300) ?(batch_size = 32)
     ?(seed = 2017L) ?(flows = 1024) ?(payload_bytes = 18) ?(pool_capacity = 512) ?faults
-    ~mode ~stages () =
+    ?traffic ?cache ~mode ~stages () =
   { shards; queues; rounds; batch_size; seed; flows; payload_bytes; pool_capacity;
-    mode; stages; faults }
+    mode; stages; faults; traffic; cache }
 
 (* One receive-queue replica. All *virtual* state — clock, pool,
    engine, NIC, pipeline, SFI manager — is per queue, not per shard:
@@ -222,12 +230,31 @@ let make_queue_env spec registry q_id =
      Nic.rx_batch_filtered), so the streams stay aligned and the RSS
      predicate alone decides ownership. *)
   let rng = Cycles.Rng.create spec.seed in
+  (* Custom plans (e.g. a million-flow Zipf mix) are built once by the
+     caller and shared by every replica; only the drawing RNG is per
+     queue. *)
   let traffic =
-    Traffic.create ~rng ~payload_bytes:spec.payload_bytes
-      (Traffic.Uniform { flows = spec.flows })
+    match spec.traffic with
+    | Some plan -> Traffic.of_plan ~rng plan
+    | None ->
+      Traffic.create ~rng ~payload_bytes:spec.payload_bytes
+        (Traffic.Uniform { flows = spec.flows })
   in
   let nic = Nic.create ~engine ~traffic () in
-  let stages = spec.stages { qc_queue = q_id; qc_clock = clock; qc_registry = registry } in
+  (* The flow cache is built before the stage constructors run so they
+     can register its invalidation on their state's mutation hooks
+     ([Ruledb.on_mutate], [Maglev.on_change], [Nat.on_mutate]). *)
+  let fcache =
+    Option.map
+      (fun c ->
+        Flowcache.create ~clock ~telemetry:registry ~capacity:c.c_capacity
+          ~ttl_cycles:c.c_ttl_cycles ())
+      spec.cache
+  in
+  let stages =
+    spec.stages
+      { qc_queue = q_id; qc_clock = clock; qc_registry = registry; qc_flowcache = fcache }
+  in
   let n_stages = List.length stages in
   let triggers = Array.make (max 1 n_stages) false in
   let rec_arm = Array.make (max 1 n_stages) 0 in
@@ -251,7 +278,7 @@ let make_queue_env spec registry q_id =
     | Isolated, Some m -> Pipeline.Isolated m
     | Isolated, None -> assert false
   in
-  let pipe = Pipeline.create ~engine ~mode run_stages in
+  let pipe = Pipeline.create ~engine ~mode ?flowcache:fcache run_stages in
   let faulty =
     match (spec.faults, mgr) with
     | None, _ -> None
@@ -292,6 +319,10 @@ let create spec =
       invalid_arg "Shard.create: fault injection requires Isolated mode";
     if fs.f_chan_capacity <= 0 then
       invalid_arg "Shard.create: fault channel capacity must be positive");
+  (match spec.cache with
+  | Some _ when spec.mode = Copying ->
+    invalid_arg "Shard.create: flow cache is incompatible with Copying mode"
+  | Some _ | None -> ());
   let rss = Rss.create ~queues:spec.queues () in
   let registries = Array.init spec.shards (fun _ -> Telemetry.Registry.create ()) in
   (* Queues are built in ascending id order (stage constructors may

@@ -35,6 +35,10 @@ type queue_ctx = {
   qc_queue : int;                      (** The queue's id. *)
   qc_clock : Cycles.Clock.t;           (** The queue's virtual clock. *)
   qc_registry : Telemetry.Registry.t;  (** The owning shard's registry. *)
+  qc_flowcache : Flowcache.t option;
+      (** The queue's megaflow cache when the spec enables one — stage
+          constructors register {!Flowcache.invalidate} on their
+          state's mutation hooks here. *)
 }
 (** What a stage constructor sees of the queue it is being built for —
     enough to key per-queue state (checkpoint stores, flow tables) and
@@ -64,6 +68,11 @@ val default_faults :
   fault_spec
 (** Defaults: rate 0.05, seed 4242, all kinds, channel capacity 4. *)
 
+type cache_spec = {
+  c_capacity : int;        (** Megaflow entries per queue. *)
+  c_ttl_cycles : int64;    (** Hard entry TTL in virtual cycles. *)
+}
+
 type spec = {
   shards : int;        (** Domains to run; 1 = single-core baseline. *)
   queues : int;        (** RSS receive queues (fixed as shards vary!). *)
@@ -86,6 +95,18 @@ type spec = {
           and the policy decides how service resumes. Each queue's
           schedule derives from [(f_seed, queue)] alone, so storms are
           shard-count invariant like everything else here. *)
+  traffic : Traffic.plan option;
+      (** Overrides the default [Uniform { flows }] workload. The plan
+          is immutable and shared by every queue replica — a
+          million-flow Zipf CDF is built once, not per queue — while
+          each queue draws from it with its own copy of the seeded
+          RNG, preserving stream alignment across queues. *)
+  cache : cache_spec option;
+      (** When set, every queue gets its own {!Flowcache} (exposed to
+          stage constructors as [qc_flowcache]) armed on its pipeline.
+          Cache counters land under [netstack.flowcache.*] in the
+          queue's shard registry and merge deterministically like
+          every other metric. Incompatible with [Copying] mode. *)
 }
 
 val default_spec :
@@ -98,12 +119,15 @@ val default_spec :
   ?payload_bytes:int ->
   ?pool_capacity:int ->
   ?faults:fault_spec ->
+  ?traffic:Traffic.plan ->
+  ?cache:cache_spec ->
   mode:mode ->
   stages:(queue_ctx -> Stage.t list) ->
   unit ->
   spec
 (** Defaults: 1 shard, 8 queues, 300 rounds, batch 32, seed 2017,
-    1024 flows, 18-byte payloads, 512-buffer pools, no faults. *)
+    1024 flows, 18-byte payloads, 512-buffer pools, no faults, uniform
+    traffic, no flow cache. *)
 
 type t
 

@@ -3,12 +3,21 @@ type pattern =
   | Uniform of { flows : int }
   | Zipf of { flows : int; exponent : float }
 
+(* The immutable, shareable half of a generator: pattern parameters
+   plus the Zipf CDF. Building the CDF for a million-flow population
+   costs O(flows) float work — queue replicas share one [plan] so a
+   sharded engine pays it once, and the read-only float array is safe
+   to share across OCaml domains. *)
+type plan = {
+  pattern : pattern;
+  pl_payload_bytes : int;
+  pl_protocol : Flow.protocol;
+  zipf_cdf : float array;  (* empty unless the pattern is Zipf *)
+}
+
 type t = {
   rng : Cycles.Rng.t;
-  pattern : pattern;
-  payload_bytes : int;
-  protocol : Flow.protocol;
-  zipf_cdf : float array;  (* empty unless the pattern is Zipf *)
+  plan : plan;
 }
 
 (* Flow [i] of the synthetic population: clients in 10.0.0.0/16 hitting
@@ -33,7 +42,7 @@ let build_zipf_cdf flows exponent =
   cdf.(flows - 1) <- 1.0;
   cdf
 
-let create ~rng ?(payload_bytes = 18) ?(protocol = Flow.Udp) pattern =
+let plan ?(payload_bytes = 18) ?(protocol = Flow.Udp) pattern =
   (match pattern with
   | Uniform { flows } when flows <= 0 -> invalid_arg "Traffic: flows must be positive"
   | Zipf { flows; _ } when flows <= 0 -> invalid_arg "Traffic: flows must be positive"
@@ -44,34 +53,57 @@ let create ~rng ?(payload_bytes = 18) ?(protocol = Flow.Udp) pattern =
     | Zipf { flows; exponent } -> build_zipf_cdf flows exponent
     | Single_flow _ | Uniform _ -> [||]
   in
-  { rng; pattern; payload_bytes; protocol; zipf_cdf }
+  { pattern; pl_payload_bytes = payload_bytes; pl_protocol = protocol; zipf_cdf }
 
-let payload_bytes t = t.payload_bytes
+let of_plan ~rng plan = { rng; plan }
 
-let population t =
-  match t.pattern with
+let create ~rng ?payload_bytes ?protocol pattern =
+  of_plan ~rng (plan ?payload_bytes ?protocol pattern)
+
+let payload_bytes t = t.plan.pl_payload_bytes
+let plan_pattern p = p.pattern
+
+let plan_population p =
+  match p.pattern with
   | Single_flow _ -> 1
   | Uniform { flows } | Zipf { flows; _ } -> flows
 
-let flow_of_index t i =
-  match t.pattern with
+let population t = plan_population t.plan
+
+let plan_flow_of_index p i =
+  match p.pattern with
   | Single_flow flow ->
     if i <> 0 then invalid_arg "Traffic.flow_of_index: single flow";
     flow
   | Uniform { flows } | Zipf { flows; _ } ->
     if i < 0 || i >= flows then invalid_arg "Traffic.flow_of_index: out of range";
-    synth_flow t.protocol i
+    synth_flow p.pl_protocol i
+
+let flow_of_index t i = plan_flow_of_index t.plan i
+
+let expected_share p i =
+  match p.pattern with
+  | Single_flow _ ->
+    if i <> 0 then invalid_arg "Traffic.expected_share: single flow";
+    1.0
+  | Uniform { flows } ->
+    if i < 0 || i >= flows then invalid_arg "Traffic.expected_share: out of range";
+    1.0 /. float_of_int flows
+  | Zipf { flows; _ } ->
+    if i < 0 || i >= flows then invalid_arg "Traffic.expected_share: out of range";
+    if i = 0 then p.zipf_cdf.(0) else p.zipf_cdf.(i) -. p.zipf_cdf.(i - 1)
 
 let next_flow t =
-  match t.pattern with
+  let p = t.plan in
+  match p.pattern with
   | Single_flow flow -> flow
-  | Uniform { flows } -> synth_flow t.protocol (Cycles.Rng.int t.rng flows)
+  | Uniform { flows } -> synth_flow p.pl_protocol (Cycles.Rng.int t.rng flows)
   | Zipf _ ->
     let u = Cycles.Rng.float t.rng 1.0 in
     (* Binary search for the first CDF entry >= u. *)
-    let lo = ref 0 and hi = ref (Array.length t.zipf_cdf - 1) in
+    let lo = ref 0 and hi = ref (Array.length p.zipf_cdf - 1) in
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
-      if t.zipf_cdf.(mid) >= u then hi := mid else lo := mid + 1
+      if p.zipf_cdf.(mid) >= u then hi := mid else lo := mid + 1
     done;
-    synth_flow t.protocol !lo
+    synth_flow p.pl_protocol !lo

@@ -15,7 +15,23 @@ type pattern =
   | Zipf of { flows : int; exponent : float }
       (** Flow popularity follows a Zipf law with the given exponent. *)
 
+type plan
+(** The immutable half of a generator: pattern parameters plus the
+    Zipf CDF. Million-flow Zipf populations cost O(flows) float work to
+    set up; queue replicas {!of_plan} one shared plan so a sharded
+    engine builds the CDF once (the read-only array is safe across
+    domains), and each queue's drawing stream stays a function of its
+    own RNG alone. *)
+
 type t
+
+val plan : ?payload_bytes:int -> ?protocol:Flow.protocol -> pattern -> plan
+(** [payload_bytes] defaults to 18, which yields 64-byte minimum-size
+    Ethernet frames (14 eth + 20 ip + 8 udp + 18 + 4 FCS equivalent);
+    [protocol] defaults to [Udp]. Raises [Invalid_argument] on a
+    non-positive flow count or Zipf exponent. *)
+
+val of_plan : rng:Cycles.Rng.t -> plan -> t
 
 val create :
   rng:Cycles.Rng.t ->
@@ -23,9 +39,17 @@ val create :
   ?protocol:Flow.protocol ->
   pattern ->
   t
-(** [payload_bytes] defaults to 18, which yields 64-byte minimum-size
-    Ethernet frames (14 eth + 20 ip + 8 udp + 18 + 4 FCS equivalent);
-    [protocol] defaults to [Udp]. *)
+(** [create ~rng ... pattern] is [of_plan ~rng (plan ... pattern)]. *)
+
+val plan_pattern : plan -> pattern
+val plan_population : plan -> int
+val plan_flow_of_index : plan -> int -> Flow.t
+
+val expected_share : plan -> int -> float
+(** The probability the generator assigns to flow [i] — uniform
+    [1/flows], the exact Zipf mass [i{^ -s}/H], or 1 for a single
+    flow. Shares sum to 1; the statistical tail tests compare empirical
+    frequencies against this. *)
 
 val next_flow : t -> Flow.t
 (** Draw the flow of the next packet. *)
