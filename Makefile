@@ -1,6 +1,7 @@
-.PHONY: all build test bench bench-quick bench-json bench-gate ckpt-incr ckpt-incr-golden \
-	stats scale scale-determinism storm storm-determinism flowcache flowcache-golden \
-	flowcache-determinism examples doc clean loc
+.PHONY: all build test bench bench-quick bench-json bench-gate bench-history ckpt-incr \
+	ckpt-incr-golden stats scale scale-determinism storm storm-determinism flowcache \
+	flowcache-golden flowcache-determinism fusion fusion-golden fusion-determinism \
+	examples doc clean loc
 
 all: build test
 
@@ -31,6 +32,13 @@ bench-gate:
 	cp BENCH_netstack.json /tmp/bench-baseline.json
 	dune exec bench/main.exe -- --quick --json
 	dune exec bench/gate.exe -- /tmp/bench-baseline.json BENCH_netstack.json 1.3
+
+# Validate and print the cross-commit wall-clock trajectory: every
+# line of BENCH_history.jsonl must be a JSON object carrying date +
+# results; any malformed line fails the target.
+bench-history:
+	@python3 tools/bench_history_check.py BENCH_history.jsonl
+	@echo "bench history: OK"
 
 # E16: incremental dirty-tracking checkpoints (full table with
 # wall-clock columns; the deterministic columns are golden-diffed).
@@ -102,6 +110,31 @@ flowcache-determinism:
 	grep -q "flowcache ledger match (cached vs uncached): true" /tmp/flowcache-1.txt
 	diff test/golden/flowcache_stats.txt /tmp/flowcache-1.txt
 	@echo "flowcache determinism: OK (1/2/4 shards byte-identical, ledgers match, golden OK)"
+
+# E18: the kernel-fusion / off-heap-slab ablation (full run, with the
+# wall-clock 2x2 table appended).
+fusion:
+	dune exec bin/repro.exe -- fusion
+
+# The deterministic sections (fused-vs-unfused cycle identity, crossing
+# counts, backing invisibility, sharded ledger) against the golden.
+fusion-golden:
+	dune exec bin/repro.exe -- fusion --stats-only > /tmp/fusion-now.txt
+	diff test/golden/fusion_stats.txt /tmp/fusion-now.txt
+	@echo "fusion golden: OK"
+
+# E18's determinism claims, mirrored by CI: fused pipelines must not
+# perturb a single virtual counter when the queues are spread over
+# 1, 2 or 4 domains, and every printed identity line must hold.
+fusion-determinism:
+	dune exec bin/repro.exe -- fusion --shards 1 --stats-only > /tmp/fusion-1.txt
+	dune exec bin/repro.exe -- fusion --shards 2 --stats-only > /tmp/fusion-2.txt
+	dune exec bin/repro.exe -- fusion --shards 4 --stats-only > /tmp/fusion-4.txt
+	diff /tmp/fusion-1.txt /tmp/fusion-2.txt
+	diff /tmp/fusion-1.txt /tmp/fusion-4.txt
+	@! grep -E "identical=false|identical .*=false" /tmp/fusion-1.txt
+	diff test/golden/fusion_stats.txt /tmp/fusion-1.txt
+	@echo "fusion determinism: OK (1/2/4 shards byte-identical, identities hold, golden OK)"
 
 examples:
 	dune exec examples/quickstart.exe

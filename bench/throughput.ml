@@ -11,6 +11,30 @@ type result = { name : string; ns_per_batch : float; mpps : float }
 
 let batch_size = 32
 
+(* Best-of-N timing: run [reps] timed windows over the same warmed
+   engine and keep the fastest. A single window on a shared
+   single-core host folds scheduler preemptions into the rate, which
+   both understates the code's cost floor and destabilises the ±30%
+   regression gate these rows feed. *)
+let reps = 6
+
+let best_of ~name ~batches serve =
+  let best = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let packets = serve batches in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    match !best with
+    | Some (_, e) when e <= elapsed -> ()
+    | _ -> best := Some (packets, elapsed)
+  done;
+  let packets, elapsed = Option.get !best in
+  {
+    name;
+    ns_per_batch = elapsed *. 1e9 /. float_of_int batches;
+    mpps = float_of_int packets /. elapsed /. 1e6;
+  }
+
 let modes =
   [
     ("throughput: maglev NF, direct", fun _env -> Netstack.Pipeline.Direct);
@@ -19,11 +43,12 @@ let modes =
     ("throughput: maglev NF, tagged", fun _env -> Netstack.Pipeline.Tagged);
   ]
 
-let run_mode ~batches (name, mode_of_env) =
-  let env = Experiments.Env.make () in
+let run_mode ~batches ?(fuse = true) ?backing (name, mode_of_env) =
+  let env = Experiments.Env.make ?backing () in
   let _mg, stages = Experiments.Env.maglev_nf env in
   let pipe =
-    Netstack.Pipeline.create ~engine:env.Experiments.Env.engine ~mode:(mode_of_env env) stages
+    Netstack.Pipeline.create ~engine:env.Experiments.Env.engine ~mode:(mode_of_env env) ~fuse
+      stages
   in
   let nic = env.Experiments.Env.nic in
   (* Count what the NIC actually handed over, not [batches * batch_size]:
@@ -41,16 +66,9 @@ let run_mode ~batches (name, mode_of_env) =
     !received
   in
   (* Warm the pool free list, Maglev connection table and minor heap
-     before the timed window. *)
+     before the timed windows. *)
   ignore (serve 64);
-  let t0 = Unix.gettimeofday () in
-  let packets = serve batches in
-  let elapsed = Unix.gettimeofday () -. t0 in
-  {
-    name;
-    ns_per_batch = elapsed *. 1e9 /. float_of_int batches;
-    mpps = (float_of_int packets /. elapsed /. 1e6);
-  }
+  best_of ~name ~batches serve
 
 (* The megaflow rows: the E17 NF (linear-scan rule DB in front of the
    Maglev chain) over a Zipf mix, with and without the per-queue flow
@@ -72,7 +90,7 @@ let flowcache_rows ~batches =
              ~ttl_cycles:(Int64.shift_left 1L 62) ())
       else None
     in
-    let stages = Experiments.Megaflow.make_stages ~clock ~flowcache:fc () in
+    let stages = Experiments.Megaflow.make_stages ~clock () in
     let pipe = Netstack.Pipeline.create ~engine ~mode:Netstack.Pipeline.Direct ?flowcache:fc stages in
     let serve n =
       let received = ref 0 in
@@ -86,23 +104,28 @@ let flowcache_rows ~batches =
       !received
     in
     ignore (serve 256);
-    let t0 = Unix.gettimeofday () in
-    let packets = serve batches in
-    let elapsed = Unix.gettimeofday () -. t0 in
-    {
-      name;
-      ns_per_batch = elapsed *. 1e9 /. float_of_int batches;
-      mpps = (float_of_int packets /. elapsed /. 1e6);
-    }
+    best_of ~name ~batches serve
   in
   [
     run_variant "throughput: megaflow NF, uncached" ~cached:false;
     run_variant "throughput: megaflow NF, cached" ~cached:true;
   ]
 
+(* The E18 ablation rows: the default rows above already run the fused
+   pipeline over the off-heap slab pool, so these two isolate what each
+   half buys — same NF, fusion pass disabled / GC-scanned [Bytes]
+   payload buffers. *)
+let ablation_rows ~batches =
+  [
+    run_mode ~batches ~fuse:false
+      ("throughput: maglev NF, direct unfused", fun _env -> Netstack.Pipeline.Direct);
+    run_mode ~batches ~backing:Netstack.Slab.Heap_bytes
+      ("throughput: maglev NF, direct heap-bytes", fun _env -> Netstack.Pipeline.Direct);
+  ]
+
 let measure ~quick =
   let batches = if quick then 512 else 8192 in
-  List.map (run_mode ~batches) modes @ flowcache_rows ~batches
+  List.map (run_mode ~batches) modes @ ablation_rows ~batches @ flowcache_rows ~batches
 
 let run ~quick =
   let results = measure ~quick in

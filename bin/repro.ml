@@ -415,6 +415,61 @@ let flowcache_cmd =
   Cmd.v (Cmd.info "flowcache" ~doc)
     Term.(const run $ shards $ queues $ rounds $ batch $ flows $ exponent $ capacity $ stats_only)
 
+let fusion_cmd =
+  let doc =
+    "Run the kernel-fusion / off-heap-slab ablation (E18): fused vs unfused pipelines over \
+     the Maglev NF in every mode (cycle identity in the calls modes, crossing reduction \
+     under Isolated, backing invisibility), then the wall-clock 2x2 ablation."
+  in
+  let rounds =
+    let doc = "Batches per deterministic run." in
+    Arg.(
+      value
+      & opt int Experiments.Fusion_ablation.default_rounds
+      & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let batch =
+    let doc = "Packets per batch (deterministic section)." in
+    Arg.(
+      value
+      & opt int Experiments.Fusion_ablation.default_batch_size
+      & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let shards =
+    let doc = "Shard (domain) count for the sharded fused-NF block." in
+    Arg.(value & opt int 1 & info [ "shards"; "n" ] ~docv:"N" ~doc)
+  in
+  let stats_only =
+    let doc =
+      "Print only the deterministic sections (virtual counters, fusion plans, crossing \
+       counts, the sharded fused-NF ledger — no wall-clock anywhere, no shard count), so \
+       runs with different shard counts — and the golden test/golden/fusion_stats.txt — \
+       diff byte-for-byte."
+    in
+    Arg.(value & flag & info [ "stats-only" ] ~doc)
+  in
+  let run rounds batch shards stats_only =
+    if rounds <= 0 || batch <= 0 then begin
+      prerr_endline "repro fusion: --rounds and --batch must be positive";
+      exit 1
+    end;
+    if shards <= 0 || shards > 4 then begin
+      Printf.eprintf "repro fusion: invalid shard count %d (need 1 <= shards <= queues = 4)\n"
+        shards;
+      exit 1
+    end;
+    let stats = Experiments.Fusion_ablation.run_stats ~rounds ~batch_size:batch () in
+    Experiments.Fusion_ablation.print_stats stats;
+    print_newline ();
+    Experiments.Fusion_ablation.print_shard_stats
+      (Experiments.Fusion_ablation.run_shard_stats ~rounds ~batch_size:batch ~shards ());
+    if not stats_only then begin
+      print_newline ();
+      Experiments.Fusion_ablation.print_wall (Experiments.Fusion_ablation.run_wall ())
+    end
+  in
+  Cmd.v (Cmd.info "fusion" ~doc) Term.(const run $ rounds $ batch $ shards $ stats_only)
+
 let verify_cmd =
   let doc =
     "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
@@ -496,5 +551,6 @@ let () =
             storm_cmd;
             ckpt_incr_cmd;
             flowcache_cmd;
+            fusion_cmd;
             verify_cmd;
           ]))

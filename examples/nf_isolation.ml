@@ -28,8 +28,10 @@ let build_pipeline env trigger =
      verdict filter with the one-shot crash trigger. *)
   let faulty_firewall =
     Netstack.Stage.make ~name:"edge-firewall" (fun engine batch ->
-        let batch = (Netstack.Filters.triggered_fault ~trigger).Netstack.Stage.process engine batch in
-        firewall.Netstack.Stage.process engine batch)
+        let batch =
+          Netstack.Stage.process (Netstack.Filters.triggered_fault ~trigger) engine batch
+        in
+        Netstack.Stage.process firewall engine batch)
   in
   let stages =
     [ faulty_firewall; Netstack.Filters.ttl_decrement; Netstack.Filters.maglev maglev ]

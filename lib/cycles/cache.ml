@@ -24,12 +24,16 @@ let default_config =
   { line_bytes = 64; l1_sets = 64; l1_ways = 8; l2_sets = 512; l2_ways = 8;
     l3_sets = 8192; l3_ways = 16 }
 
-(* One level: [tags.(set * ways + way)] holds the line tag or [-1L];
-   [stamps] holds the LRU timestamp of the corresponding way. *)
+(* One level: [tags.(set * ways + way)] holds the line tag or [-1];
+   [stamps] holds the LRU timestamp of the corresponding way. Tags are
+   native ints — synthetic addresses come from the clock's bump
+   allocator and never approach 2^62, so line numbers always fit, and
+   probing stays unboxed. *)
 type level_state = {
   sets : int;
   ways : int;
-  tags : int64 array;
+  set_mask : int;  (* [sets - 1] when [sets] is a power of two, else 0 *)
+  tags : int array;
   stamps : int array;
 }
 
@@ -37,6 +41,7 @@ type counters = { l1_hits : int; l2_hits : int; l3_hits : int; dram_accesses : i
 
 type t = {
   config : config;
+  line_shift : int;  (* log2 of [line_bytes] when a power of two, else -1 *)
   l1 : level_state;
   l2 : level_state;
   l3 : level_state;
@@ -45,14 +50,28 @@ type t = {
   mutable c_l2 : int;
   mutable c_l3 : int;
   mutable c_dram : int;
+  (* Back-to-back accesses to one line are guaranteed L1 hits on the
+     way the previous access touched; remembering that way turns the
+     repeat (the common case for per-word metadata checks) into a
+     stamp refresh without a probe. State transitions are identical to
+     the slow path. *)
+  mutable last_line : int;
+  mutable last_idx : int;
 }
 
 let make_level sets ways =
-  { sets; ways; tags = Array.make (sets * ways) (-1L); stamps = Array.make (sets * ways) 0 }
+  let set_mask = if sets land (sets - 1) = 0 then sets - 1 else 0 in
+  { sets; ways; set_mask; tags = Array.make (sets * ways) (-1); stamps = Array.make (sets * ways) 0 }
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
 
 let create ?(config = default_config) () =
   {
     config;
+    line_shift =
+      (if config.line_bytes > 0 && config.line_bytes land (config.line_bytes - 1) = 0 then
+         log2 config.line_bytes
+       else -1);
     l1 = make_level config.l1_sets config.l1_ways;
     l2 = make_level config.l2_sets config.l2_ways;
     l3 = make_level config.l3_sets config.l3_ways;
@@ -61,83 +80,148 @@ let create ?(config = default_config) () =
     c_l2 = 0;
     c_l3 = 0;
     c_dram = 0;
+    last_line = -1;
+    last_idx = -1;
   }
 
-let set_of st line = Int64.to_int (Int64.rem line (Int64.of_int st.sets))
+let line_bytes t = t.config.line_bytes
+
+(* Address-to-line with a shift, not a division: the divisor is a
+   runtime value, so the compiler cannot strength-reduce it, and a real
+   [idiv] per simulated access is measurable. *)
+let[@inline] line_of t addr =
+  if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.config.line_bytes
+
+(* Hot path: every set count in the default config is a power of two,
+   so indexing is a mask, not a division. *)
+let[@inline] set_of st line = if st.set_mask <> 0 then line land st.set_mask else line mod st.sets
+
+(* Scan loops live at top level with every capture passed as an
+   argument: a local [let rec] that closes over the level state would
+   allocate a closure on every probe, and this is the hottest function
+   in the simulator. *)
+let rec scan_ways tags stamps base ways line tick w =
+  if w = ways then false
+  else if Array.unsafe_get tags (base + w) = line then begin
+    Array.unsafe_set stamps (base + w) tick;
+    true
+  end
+  else scan_ways tags stamps base ways line tick (w + 1)
 
 (* Returns [true] on hit; on hit refreshes the LRU stamp. *)
 let probe t st line =
   let s = set_of st line in
   let base = s * st.ways in
-  let rec scan w =
-    if w = st.ways then false
-    else if st.tags.(base + w) = line then begin
-      st.stamps.(base + w) <- t.tick;
-      true
-    end
-    else scan (w + 1)
-  in
-  scan 0
+  scan_ways st.tags st.stamps base st.ways line t.tick 0
 
-(* Install [line], preferring an invalid way, else evicting the LRU way. *)
-let fill t st line =
+(* L1 probe that reports which way hit (-1 on miss), for the
+   repeated-line memo. *)
+let rec scan_ways_idx tags stamps base ways line tick w =
+  if w = ways then -1
+  else if Array.unsafe_get tags (base + w) = line then begin
+    Array.unsafe_set stamps (base + w) tick;
+    base + w
+  end
+  else scan_ways_idx tags stamps base ways line tick (w + 1)
+
+let probe_l1_idx t line =
+  let st = t.l1 in
+  let base = set_of st line * st.ways in
+  scan_ways_idx st.tags st.stamps base st.ways line t.tick 0
+
+let rec find_invalid tags base ways w =
+  if w = ways then -1 else if Array.unsafe_get tags (base + w) = -1 then w else find_invalid tags base ways (w + 1)
+
+(* Install [line], preferring an invalid way, else evicting the LRU
+   way; returns the index written. *)
+let fill_idx t st line =
   let s = set_of st line in
   let base = s * st.ways in
-  let rec find_invalid w = if w = st.ways then None else if st.tags.(base + w) = -1L then Some w else find_invalid (w + 1) in
   let victim =
-    match find_invalid 0 with
-    | Some w -> w
-    | None ->
+    match find_invalid st.tags base st.ways 0 with
+    | w when w >= 0 -> w
+    | _ ->
       let best = ref 0 in
       for w = 1 to st.ways - 1 do
-        if st.stamps.(base + w) < st.stamps.(base + !best) then best := w
+        if
+          Array.unsafe_get st.stamps (base + w)
+          < Array.unsafe_get st.stamps (base + !best)
+        then best := w
       done;
       !best
   in
-  st.tags.(base + victim) <- line;
-  st.stamps.(base + victim) <- t.tick
+  Array.unsafe_set st.tags (base + victim) line;
+  Array.unsafe_set st.stamps (base + victim) t.tick;
+  base + victim
 
-let access t addr =
+let fill t st line = ignore (fill_idx t st line)
+
+let access_line t line =
   t.tick <- t.tick + 1;
-  let line = Int64.div addr (Int64.of_int t.config.line_bytes) in
-  if probe t t.l1 line then begin
+  if line = t.last_line then begin
+    (* Same line as the previous access: an L1 hit on the same way,
+       by construction. Refresh its stamp exactly as [probe] would. *)
+    Array.unsafe_set t.l1.stamps t.last_idx t.tick;
     t.c_l1 <- t.c_l1 + 1;
     L1
   end
-  else if probe t t.l2 line then begin
-    t.c_l2 <- t.c_l2 + 1;
-    fill t t.l1 line;
-    L2
-  end
-  else if probe t t.l3 line then begin
-    t.c_l3 <- t.c_l3 + 1;
-    fill t t.l1 line;
-    fill t t.l2 line;
-    L3
-  end
   else begin
-    t.c_dram <- t.c_dram + 1;
-    fill t t.l1 line;
-    fill t t.l2 line;
-    fill t t.l3 line;
-    Dram
+    t.last_line <- line;
+    let w = probe_l1_idx t line in
+    if w >= 0 then begin
+      t.last_idx <- w;
+      t.c_l1 <- t.c_l1 + 1;
+      L1
+    end
+    else if probe t t.l2 line then begin
+      t.c_l2 <- t.c_l2 + 1;
+      t.last_idx <- fill_idx t t.l1 line;
+      L2
+    end
+    else if probe t t.l3 line then begin
+      t.c_l3 <- t.c_l3 + 1;
+      t.last_idx <- fill_idx t t.l1 line;
+      fill t t.l2 line;
+      L3
+    end
+    else begin
+      t.c_dram <- t.c_dram + 1;
+      t.last_idx <- fill_idx t t.l1 line;
+      fill t t.l2 line;
+      fill t t.l3 line;
+      Dram
+    end
+  end
+
+let access t addr = access_line t (line_of t addr)
+
+(* [repeat_hit t n] replays [n] further accesses to the line the
+   previous {!access} touched: each is an L1 hit on the same way, so
+   the net state change is [n] tick advances, [n] L1-hit counts and a
+   stamp refresh to the final tick — exactly what [n] calls to
+   {!access} would do, without [n] probes. *)
+let repeat_hit t n =
+  if n > 0 then begin
+    if t.last_idx < 0 then invalid_arg "Cache.repeat_hit: no preceding access";
+    t.tick <- t.tick + n;
+    Array.unsafe_set t.l1.stamps t.last_idx t.tick;
+    t.c_l1 <- t.c_l1 + n
   end
 
 let access_range t addr bytes =
   if bytes <= 0 then []
   else begin
-    let lb = Int64.of_int t.config.line_bytes in
-    let first = Int64.div addr lb in
-    let last = Int64.div (Int64.add addr (Int64.of_int (bytes - 1))) lb in
-    let n = Int64.to_int (Int64.sub last first) + 1 in
-    List.init n (fun i ->
-        access t (Int64.mul (Int64.add first (Int64.of_int i)) lb))
+    let first = line_of t addr in
+    let last = line_of t (addr + bytes - 1) in
+    List.init (last - first + 1) (fun i -> access_line t (first + i))
   end
 
 let flush t =
-  Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1L);
-  Array.fill t.l2.tags 0 (Array.length t.l2.tags) (-1L);
-  Array.fill t.l3.tags 0 (Array.length t.l3.tags) (-1L)
+  t.last_line <- -1;
+  t.last_idx <- -1;
+  Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1);
+  Array.fill t.l2.tags 0 (Array.length t.l2.tags) (-1);
+  Array.fill t.l3.tags 0 (Array.length t.l3.tags) (-1)
 
 let counters t =
   { l1_hits = t.c_l1; l2_hits = t.c_l2; l3_hits = t.c_l3; dram_accesses = t.c_dram }

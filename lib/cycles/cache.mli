@@ -34,12 +34,30 @@ type t
 
 val create : ?config:config -> unit -> t
 
-val access : t -> int64 -> level
+val line_bytes : t -> int
+(** The configured cache-line size. *)
+
+val line_of : t -> int -> int
+(** The line number containing [addr] (i.e. [addr / line_bytes],
+    strength-reduced to a shift for power-of-two line sizes). *)
+
+val access : t -> int -> level
 (** [access t addr] simulates one load/store of the line containing
     [addr]: returns the level that hit and installs the line in all
     levels above (inclusive fill, LRU update). *)
 
-val access_range : t -> int64 -> int -> level list
+val access_line : t -> int -> level
+(** Like {!access} but takes a line number ({!line_of}) directly —
+    the hot-path entry for callers that already walk whole lines. *)
+
+val repeat_hit : t -> int -> unit
+(** [repeat_hit t n] replays [n] immediate re-accesses of the line the
+    previous {!access} touched — guaranteed L1 hits on the same way.
+    Counter, tick and LRU-stamp effects are identical to [n] calls to
+    {!access} on that line. Raises [Invalid_argument] if no access
+    preceded. *)
+
+val access_range : t -> int -> int -> level list
 (** [access_range t addr bytes] touches every line overlapped by
     [\[addr, addr+bytes)] and returns the per-line hit levels in order. *)
 

@@ -14,8 +14,13 @@ type op =
 type t = {
   model : Cost_model.t;
   cache : Cache.t;
-  mutable cycles : int64;
-  mutable brk : int64;  (* bump pointer of the synthetic address space *)
+  (* Immediate [int], not [int64]: the counter is bumped on every
+     simulated load/store, and a boxed representation would allocate
+     on each bump — GC pressure that dominates the real hot path. 62
+     bits of headroom dwarf any experiment's cycle count; the [int64]
+     API is preserved at the boundary. *)
+  mutable cycles : int;
+  mutable brk : int;  (* bump pointer of the synthetic address space *)
 }
 
 let create ?(model = Cost_model.default) ?cache_config () =
@@ -26,26 +31,30 @@ let create ?(model = Cost_model.default) ?cache_config () =
   in
   (* Start the heap away from address 0 so that "null-ish" addresses in
      tests stand out. *)
-  { model; cache; cycles = 0L; brk = 0x1000L }
+  { model; cache; cycles = 0; brk = 0x1000 }
 
 let model t = t.model
-let now t = t.cycles
-let add t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
+let now t = Int64.of_int t.cycles
+let add t n = t.cycles <- t.cycles + n
 
-let charge t op =
+let cost_of t op =
   let m = t.model in
   match op with
-  | Alu n -> add t (n * m.alu)
-  | Branch_hit -> add t m.branch
-  | Branch_miss -> add t m.branch_miss
-  | Call -> add t m.call
-  | Indirect_call -> add t m.indirect_call
-  | Atomic_rmw -> add t m.atomic_rmw
-  | Tls_lookup -> add t m.tls_lookup
-  | Alloc -> add t m.alloc_fixed
-  | Unwind -> add t m.unwind
-  | Copy n -> add t (int_of_float (ceil (float_of_int n *. m.per_byte_copy)))
-  | Fixed n -> add t n
+  | Alu n -> n * m.alu
+  | Branch_hit -> m.branch
+  | Branch_miss -> m.branch_miss
+  | Call -> m.call
+  | Indirect_call -> m.indirect_call
+  | Atomic_rmw -> m.atomic_rmw
+  | Tls_lookup -> m.tls_lookup
+  | Alloc -> m.alloc_fixed
+  | Unwind -> m.unwind
+  | Copy n -> int_of_float (ceil (float_of_int n *. m.per_byte_copy))
+  | Fixed n -> n
+
+let charge t op = add t (cost_of t op)
+
+let charge_many t op n = if n > 0 then add t (n * cost_of t op)
 
 let latency_of t (level : Cache.level) =
   let m = t.model in
@@ -55,9 +64,29 @@ let latency_of t (level : Cache.level) =
   | Cache.L3 -> m.l3_latency
   | Cache.Dram -> m.dram_latency
 
+(* The hot path of the whole simulator: every simulated load/store
+   funnels through here. Walk the overlapped lines directly — no
+   intermediate list, no closures, no boxed addresses. *)
 let touch t addr ~bytes =
-  let levels = Cache.access_range t.cache addr bytes in
-  List.iter (fun level -> add t (latency_of t level)) levels
+  if bytes > 0 then begin
+    let first = Cache.line_of t.cache addr in
+    let last = Cache.line_of t.cache (addr + bytes - 1) in
+    for line = first to last do
+      add t (latency_of t (Cache.access_line t.cache line))
+    done
+  end
+
+(* [times] accesses to the same (single-line) address: one real probe
+   plus [times - 1] guaranteed L1 hits replayed in bulk. Cycle and
+   cache-state effects equal [times] calls to [touch]. *)
+let touch_same_line t addr ~times =
+  if times > 0 then begin
+    add t (latency_of t (Cache.access t.cache addr));
+    if times > 1 then begin
+      Cache.repeat_hit t.cache (times - 1);
+      add t ((times - 1) * t.model.l1_latency)
+    end
+  end
 
 let touch_level t addr =
   let level = Cache.access t.cache addr in
@@ -67,7 +96,7 @@ let touch_level t addr =
 let alloc_addr t ~bytes =
   let base = t.brk in
   let aligned = (bytes + 63) / 64 * 64 in
-  t.brk <- Int64.add t.brk (Int64.of_int (max 64 aligned));
+  t.brk <- t.brk + max 64 aligned;
   base
 
 let cache_counters t = Cache.counters t.cache
@@ -77,4 +106,4 @@ let flush_cache t = Cache.flush t.cache
 let measure t f =
   let start = t.cycles in
   let result = f () in
-  (result, Int64.sub t.cycles start)
+  (result, Int64.of_int (t.cycles - start))

@@ -5,7 +5,7 @@
     operations they perform; experiments read back elapsed cycles
     exactly like the paper reads the TSC.
 
-    A clock also owns a synthetic 64-bit address space: simulated
+    A clock also owns a synthetic address space (native-int addressed): simulated
     objects (packet buffers, reference-table slots, lookup tables, ...)
     obtain stable addresses from {!alloc_addr} so that their memory
     traffic interacts in the shared cache hierarchy. *)
@@ -39,17 +39,27 @@ val now : t -> int64
 
 val charge : t -> op -> unit
 
-val touch : t -> int64 -> bytes:int -> unit
+val charge_many : t -> op -> int -> unit
+(** [charge_many t op n] charges [op] [n] times in one addition. *)
+
+val touch : t -> int -> bytes:int -> unit
 (** [touch t addr ~bytes] simulates a memory access to
     [\[addr, addr+bytes)]: each overlapped cache line is probed and the
     latency of the level that hits is charged. *)
 
-val touch_level : t -> int64 -> Cache.level
+val touch_same_line : t -> int -> times:int -> unit
+(** [touch_same_line t addr ~times] simulates [times] consecutive
+    accesses to the single line at [addr]: the first probes the
+    hierarchy, the rest are the L1 hits they are guaranteed to be.
+    Equivalent to [times] calls to [touch t addr ~bytes:1], charged in
+    bulk. *)
+
+val touch_level : t -> int -> Cache.level
 (** Single-line access that also reports where it hit — used by tests
     and by the Figure-2 harness to substantiate the paper's
     "2–3 L3 accesses" characterisation. *)
 
-val alloc_addr : t -> bytes:int -> int64
+val alloc_addr : t -> bytes:int -> int
 (** Reserve [bytes] of synthetic address space (64-byte aligned) and
     return its base address. Never recycles addresses. *)
 

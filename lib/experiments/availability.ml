@@ -25,7 +25,7 @@ let make_stages env triggers =
             triggers.(i) <- false;
             Sfi.Panic.panicf "injected fault in nf%d" i
           end;
-          base.(i).Netstack.Stage.process engine batch))
+          Netstack.Stage.process base.(i) engine batch))
 
 let run_campaign ~mode_of_env ~p ~batches ~batch_size ~seed =
   let env = Env.make ~seed () in

@@ -21,11 +21,15 @@ val make :
   ?flows:int ->
   ?payload_bytes:int ->
   ?model:Cycles.Cost_model.t ->
+  ?backing:Netstack.Slab.backing ->
   ?telemetry:Telemetry.Registry.t ->
   unit ->
   t
 (** Defaults: seed 2017, 4096-buffer pool, 1024 uniform flows,
     18-byte payloads (64-byte frames — the Figure-2 workload).
+    [backing] selects the pool's payload storage (default
+    {!Netstack.Slab.Off_heap}; {!Netstack.Slab.Heap_bytes} is the E18
+    ablation arm).
     [telemetry] (default {!Telemetry.Registry.global}) is handed to
     the engine and the SFI manager, so every environment records the
     [netstack.*] / [sfi.*] metrics; pass a fresh registry to keep an
@@ -40,7 +44,7 @@ val measure_pipeline :
 val maglev_backends : string array
 (** The 8 synthetic backends every Maglev experiment uses. *)
 
-val vip : int32
+val vip : int
 (** The load balancer's virtual IP. *)
 
 val maglev_nf : t -> Netstack.Maglev.t * Netstack.Stage.t list

@@ -16,7 +16,13 @@ let measure_mode ?telemetry ~batch ~warmup ~trials mode_of_env =
   (* Fresh, identically-seeded environment per mode so the two runs see
      the same traffic and the same cold caches. *)
   let env = Env.make ?telemetry () in
-  let pipe = Netstack.Pipeline.create ~engine:env.Env.engine ~mode:(mode_of_env env) null_stages in
+  (* Per-boundary cost is the quantity under test: keep one crossing
+     per stage rather than letting the fusion pass collapse the five
+     null kernels into a single domain. *)
+  let pipe =
+    Netstack.Pipeline.create ~engine:env.Env.engine ~mode:(mode_of_env env) ~fuse:false
+      null_stages
+  in
   Cycles.Stats.mean (Env.measure_pipeline env pipe ~batch ~warmup ~trials)
 
 let measure_maglev ?telemetry ~batch ~warmup ~trials () =

@@ -14,7 +14,7 @@
      Figure-2 Maglev chain), which is exactly the cost profile the
      megaflow cache exists to amortise. *)
 
-let vip = 0xC0A80001l
+let vip = 0xC0A80001
 let backends = Array.init 8 (fun i -> Printf.sprintf "backend-%d" i)
 
 let default_flows = 1_000_000
@@ -45,18 +45,16 @@ let build_rules db ~pad ~drops =
    tables, and the slow path should cost what OVS's does. *)
 let wall_rule_pad = 760
 
-(* The E17 NF: ruledb -> csum -> ttl -> maglev-gre. State owners
-   register the cache invalidation on their mutation hooks — the
-   owner-side staleness barrier DESIGN.md §12 argues is complete. *)
-let make_stages ~clock ~flowcache ?(rule_pad = default_rule_pad) () =
+(* The E17 NF: ruledb -> csum -> ttl -> maglev-gre. The stage
+   descriptors declare their state owners' mutation hooks
+   ([Ruledb.on_mutate], [Maglev.on_change]); [Pipeline.create]
+   subscribes the cache's invalidation through them — the owner-side
+   staleness barrier DESIGN.md §12 argues is complete, wired by
+   construction. *)
+let make_stages ~clock ?(rule_pad = default_rule_pad) () =
   let db = Netstack.Ruledb.create ~clock () in
   build_rules db ~pad:rule_pad ~drops:default_rule_drops;
   let mg = Netstack.Maglev.create ~clock ~backends () in
-  (match flowcache with
-  | Some fc ->
-    Netstack.Ruledb.on_mutate db (fun () -> Netstack.Flowcache.invalidate fc);
-    Netstack.Maglev.on_change mg (fun () -> Netstack.Flowcache.invalidate fc)
-  | None -> ());
   [
     Netstack.Ruledb.stage db;
     Netstack.Filters.checksum_verify;
@@ -65,7 +63,7 @@ let make_stages ~clock ~flowcache ?(rule_pad = default_rule_pad) () =
   ]
 
 let shard_stages (ctx : Netstack.Shard.queue_ctx) =
-  make_stages ~clock:ctx.Netstack.Shard.qc_clock ~flowcache:ctx.Netstack.Shard.qc_flowcache ()
+  make_stages ~clock:ctx.Netstack.Shard.qc_clock ()
 
 (* --- Deterministic section ------------------------------------------- *)
 
@@ -219,7 +217,7 @@ let run_wall_variant ~plan ~seed ~capacity ~batch_size ~warmup ~batches ~rule_pa
            ~ttl_cycles:(Int64.shift_left 1L 62) ())
     else None
   in
-  let stages = make_stages ~clock ~flowcache:fc ~rule_pad () in
+  let stages = make_stages ~clock ~rule_pad () in
   let pipe =
     Netstack.Pipeline.create ~engine ~mode:Netstack.Pipeline.Direct ?flowcache:fc stages
   in

@@ -15,16 +15,13 @@
     (sustained Mpps with the traffic-generator cost backed out). *)
 
 val make_stages :
-  clock:Cycles.Clock.t ->
-  flowcache:Netstack.Flowcache.t option ->
-  ?rule_pad:int ->
-  unit ->
-  Netstack.Stage.t list
-(** Fresh per-queue stage state (rule DB + Maglev table). When a
-    flowcache is supplied, both state owners register
-    {!Netstack.Flowcache.invalidate} on their mutation hooks.
-    [rule_pad] sizes the never-matching prefix of the rule table
-    (default 120; the wall-clock section uses 760). *)
+  clock:Cycles.Clock.t -> ?rule_pad:int -> unit -> Netstack.Stage.t list
+(** Fresh per-queue stage state (rule DB + Maglev table). The stage
+    descriptors declare both state owners' mutation hooks, so a
+    {!Netstack.Pipeline} built with a flowcache wires the cache's
+    invalidation automatically. [rule_pad] sizes the never-matching
+    prefix of the rule table (default 120; the wall-clock section
+    uses 760). *)
 
 val shard_stages : Netstack.Shard.queue_ctx -> Netstack.Stage.t list
 (** {!make_stages} adapted to the sharded engine's stage constructor. *)

@@ -8,7 +8,11 @@ type row = {
 let measure ~length ~batch ~warmup ~trials mode_of_env =
   let env = Env.make () in
   let stages = List.init length (fun _ -> Netstack.Filters.null) in
-  let pipe = Netstack.Pipeline.create ~engine:env.Env.engine ~mode:(mode_of_env env) stages in
+  (* Overhead-per-call scaling needs one crossing per stage: disable
+     the fusion pass. *)
+  let pipe =
+    Netstack.Pipeline.create ~engine:env.Env.engine ~mode:(mode_of_env env) ~fuse:false stages
+  in
   Cycles.Stats.mean (Env.measure_pipeline env pipe ~batch ~warmup ~trials)
 
 let run ?(lengths = [ 1; 2; 4; 8; 16 ]) ?(batch = 32) ?(warmup = 20) ?(trials = 100) () =

@@ -128,6 +128,11 @@ let all =
       run = (fun ~quick -> Megaflow.print (Megaflow.run ~quick ()));
     };
     {
+      id = "fusion";
+      description = "E18 (extension): kernel fusion / off-heap slab ablation";
+      run = (fun ~quick -> Fusion_ablation.print (Fusion_ablation.run ~quick ()));
+    };
+    {
       id = "ablations";
       description = "A1-A3: design-choice ablations";
       run =

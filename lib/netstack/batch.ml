@@ -133,6 +133,33 @@ let filteri_in_place t keep =
 
 let filter_in_place t keep = filteri_in_place t (fun _ p -> keep p)
 
+(* [filteri_in_place] without the list: dropped packets land in the
+   caller's scratch array, in encounter order. The fused pipeline
+   passes one reusable scratch per pipeline, making filter passes
+   allocation-free. *)
+let sieve t keep ~dropped =
+  let w = ref 0 in
+  let d = ref 0 in
+  for i = 0 to t.len - 1 do
+    let p = get t i in
+    if keep i p then begin
+      t.pkts.(!w) <- Some p;
+      t.keys.(!w) <- t.keys.(i);
+      t.flows.(!w) <- t.flows.(i);
+      incr w
+    end
+    else begin
+      dropped.(!d) <- p;
+      incr d
+    end
+  done;
+  for i = !w to t.len - 1 do
+    t.pkts.(i) <- None;
+    t.keys.(i) <- Flow.Key.none
+  done;
+  t.len <- !w;
+  !d
+
 let clear t =
   for i = 0 to t.len - 1 do
     t.pkts.(i) <- None;

@@ -70,6 +70,13 @@ val filteri_in_place : t -> (int -> Packet.t -> bool) -> Packet.t list
 (** [filter_in_place] with the packet's (pre-compaction) index, so the
     predicate can consult and invalidate the flow sidecar. *)
 
+val sieve : t -> (int -> Packet.t -> bool) -> dropped:Packet.t array -> int
+(** [filteri_in_place] without the allocation: dropped packets are
+    written into [dropped] (which must hold at least {!length} [t]
+    entries) in encounter order; returns how many were dropped. The
+    fused pipeline's filter passes run through this with one reusable
+    scratch array per pipeline. *)
+
 val clear : t -> unit
 (** Empty the batch without returning the packets (the caller already
     released or transferred the buffers). *)

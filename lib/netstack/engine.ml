@@ -5,7 +5,7 @@ type t = {
   pool : Mempool.t;
   telemetry : Telemetry.Registry.t option;
   mode : mode;
-  tag_base : int64;
+  tag_base : int;
   tag_span : int;
   tag_checks : int ref;
 }
@@ -36,29 +36,43 @@ let mode t = t.mode
 let with_mode t mode = { t with mode }
 
 (* One tag word per 64-byte granule of the shared heap, direct-mapped
-   into the metadata table. *)
-let tag_check t addr =
-  let granule = Int64.div addr 64L in
-  let slot = Int64.rem granule (Int64.of_int (t.tag_span / 8)) in
-  let tag_addr = Int64.add t.tag_base (Int64.mul slot 8L) in
-  (* Hash the address into the metadata table, load the tag word,
-     resolve the owning principal and compare permission bits (LXFI
-     does all of this per dereference). *)
-  Cycles.Clock.charge t.clock (Alu 6);
-  Cycles.Clock.touch t.clock tag_addr ~bytes:8;
-  Cycles.Clock.charge t.clock Branch_hit;
-  incr t.tag_checks
+   into the metadata table: hash the address into the table, load the
+   tag word, resolve the owning principal and compare permission bits
+   (LXFI does all of this per dereference) — Alu 6 + an 8-byte load +
+   a predicted branch per checked word.
+
+   Words inside one granule share a tag word, so their checks are
+   batched — the ALU and
+   branch charges in one addition each, the repeated tag-line loads
+   through the guaranteed-L1 bulk path. Cycle-for-cycle equal to
+   calling [tag_check] per word. *)
+let tag_check_range t addr ~bytes =
+  let words = ((max 1 bytes - 1) / 4) + 1 in
+  let span_slots = t.tag_span / 8 in
+  let w = ref 0 in
+  while !w < words do
+    let a = addr + (!w * 4) in
+    let granule = a / 64 in
+    (* Number of checked words still inside this granule. *)
+    let upto = min words ((((granule + 1) * 64) - addr + 3) / 4) in
+    let k = upto - !w in
+    let slot = granule mod span_slots in
+    let tag_addr = t.tag_base + (slot * 8) in
+    Cycles.Clock.charge_many t.clock (Alu 6) k;
+    Cycles.Clock.touch_same_line t.clock tag_addr ~times:k;
+    Cycles.Clock.charge_many t.clock Branch_hit k;
+    t.tag_checks := !(t.tag_checks) + k;
+    w := upto
+  done
 
 let touch t (p : Packet.t) ~off ~bytes =
-  let addr = Int64.add p.addr (Int64.of_int off) in
+  let addr = p.addr + off in
   (match t.mode with
   | Untagged -> ()
   | Tagged ->
     (* Mao et al. validate on {e each} pointer dereference: one check
        per 32-bit word loaded/stored. *)
-    for w = 0 to ((max 1 bytes - 1) / 4) do
-      tag_check t (Int64.add addr (Int64.of_int (w * 4)))
-    done);
+    tag_check_range t addr ~bytes);
   Cycles.Clock.touch t.clock addr ~bytes
 
 let touch_packet = touch

@@ -1,142 +1,105 @@
-let drop_packets engine dropped =
-  List.iter (fun p -> Mempool.free (Engine.pool engine) p) dropped
-
-let null = Stage.make ~name:"null" (fun _engine batch -> batch)
+let null = Stage.rewrite ~name:"null" (fun _engine _batch _i _p -> ())
 
 let ttl_decrement =
-  Stage.make ~name:"ttl-dec" (fun engine batch ->
-      let clock = Engine.clock engine in
-      let dropped =
-        Batch.filter_in_place batch (fun p ->
-            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-              ~bytes:Packet.ipv4_header_bytes;
-            Cycles.Clock.charge clock (Alu 4);
-            let ttl = Packet.ttl p in
-            if ttl <= 1 then false
-            else begin
-              Packet.set_ttl p (ttl - 1);
-              Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 8) ~bytes:4;
-              true
-            end)
-      in
-      drop_packets engine dropped;
-      batch)
+  Stage.filter ~name:"ttl-dec" (fun engine _batch _i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:Packet.ipv4_header_bytes;
+      Cycles.Clock.charge (Engine.clock engine) (Alu 4);
+      let ttl = Packet.ttl p in
+      if ttl <= 1 then false
+      else begin
+        Packet.set_ttl p (ttl - 1);
+        Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 8) ~bytes:4;
+        true
+      end)
 
 let checksum_verify =
-  Stage.make ~name:"csum" (fun engine batch ->
-      let clock = Engine.clock engine in
-      let dropped =
-        Batch.filter_in_place batch (fun p ->
-            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-              ~bytes:Packet.ipv4_header_bytes;
-            (* RFC 1071 over ten 16-bit words. *)
-            Cycles.Clock.charge clock (Alu 12);
-            Packet.ipv4_checksum_ok p)
-      in
-      drop_packets engine dropped;
-      batch)
+  Stage.filter ~name:"csum" (fun engine _batch _i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:Packet.ipv4_header_bytes;
+      (* RFC 1071 over ten 16-bit words. *)
+      Cycles.Clock.charge (Engine.clock engine) (Alu 12);
+      Packet.ipv4_checksum_ok p)
 
-let backend_ip backend = Int32.logor 0x0A010000l (Int32.of_int (backend land 0xffff))
 let backend_ip_int backend = 0x0A010000 lor (backend land 0xffff)
 
 let maglev mg =
-  Stage.make ~name:"maglev" (fun engine batch ->
-      Batch.iteri
-        (fun i p ->
-          (* The 5-tuple comes from the batch sidecar (parsed once at
-             NIC rx); the touch still models the header read the
-             hardware performs. *)
-          Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-            ~bytes:(Packet.ipv4_header_bytes + 4);
-          let flow = Batch.flow batch i in
-          let backend = Maglev.lookup_keyed mg flow ~key:(Batch.flow_key batch i) in
-          (* Rewrite the destination to the chosen backend. *)
-          Packet.set_dst_ip_int p (backend_ip_int backend);
-          Batch.invalidate_flow batch i;
-          Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 16) ~bytes:4)
-        batch;
-      batch)
+  Stage.rewrite ~name:"maglev"
+    ~hooks:[ Maglev.on_change mg ]
+    (fun engine batch i p ->
+      (* The 5-tuple comes from the batch sidecar (parsed once at
+         NIC rx); the touch still models the header read the
+         hardware performs. *)
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:(Packet.ipv4_header_bytes + 4);
+      let flow = Batch.flow batch i in
+      let backend = Maglev.lookup_keyed mg flow ~key:(Batch.flow_key batch i) in
+      (* Rewrite the destination to the chosen backend. *)
+      Packet.set_dst_ip_int p (backend_ip_int backend);
+      Batch.invalidate_flow batch i;
+      Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 16) ~bytes:4)
 
 let maglev_gre mg ~vip =
-  Stage.make ~name:"maglev-gre" (fun engine batch ->
-      let dropped =
-        Batch.filteri_in_place batch (fun i p ->
-            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-              ~bytes:(Packet.ipv4_header_bytes + 4);
-            let flow = Batch.flow batch i in
-            let backend = Maglev.lookup_keyed mg flow ~key:(Batch.flow_key batch i) in
-            match Packet.encap_gre p ~outer_src:vip ~outer_dst:(backend_ip backend) with
-            | () ->
-              (* The outer header is now the packet's 5-tuple source. *)
-              Batch.invalidate_flow batch i;
-              (* The shift + new outer header touch the whole frame. *)
-              Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
-              Cycles.Clock.charge (Engine.clock engine) (Copy Packet.gre_overhead_bytes);
-              true
-            | exception Invalid_argument _ -> false)
-      in
-      drop_packets engine dropped;
-      batch)
+  Stage.filter ~name:"maglev-gre"
+    ~hooks:[ Maglev.on_change mg ]
+    (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:(Packet.ipv4_header_bytes + 4);
+      let flow = Batch.flow batch i in
+      let backend = Maglev.lookup_keyed mg flow ~key:(Batch.flow_key batch i) in
+      match Packet.encap_gre p ~outer_src:vip ~outer_dst:(backend_ip_int backend) with
+      | () ->
+        (* The outer header is now the packet's 5-tuple source. *)
+        Batch.invalidate_flow batch i;
+        (* The shift + new outer header touch the whole frame. *)
+        Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
+        Cycles.Clock.charge (Engine.clock engine) (Copy Packet.gre_overhead_bytes);
+        true
+      | exception Invalid_argument _ -> false)
 
 let gre_decap =
-  Stage.make ~name:"gre-decap" (fun engine batch ->
-      let dropped =
-        Batch.filteri_in_place batch (fun i p ->
-            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-              ~bytes:Packet.ipv4_header_bytes;
-            if Packet.is_gre p then begin
-              Packet.decap_gre p;
-              (* The inner packet's tuple is live again. *)
-              Batch.invalidate_flow batch i;
-              Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
-              true
-            end
-            else false)
-      in
-      drop_packets engine dropped;
-      batch)
+  Stage.filter ~name:"gre-decap" (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:Packet.ipv4_header_bytes;
+      if Packet.is_gre p then begin
+        Packet.decap_gre p;
+        (* The inner packet's tuple is live again. *)
+        Batch.invalidate_flow batch i;
+        Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
+        true
+      end
+      else false)
 
 let firewall ~name verdict =
-  Stage.make ~name (fun engine batch ->
-      let clock = Engine.clock engine in
-      let dropped =
-        Batch.filteri_in_place batch (fun i p ->
-            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-              ~bytes:(Packet.ipv4_header_bytes + 4);
-            Cycles.Clock.charge clock (Alu 6);
-            verdict (Batch.flow batch i))
-      in
-      drop_packets engine dropped;
-      batch)
+  Stage.filter ~name (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:(Packet.ipv4_header_bytes + 4);
+      Cycles.Clock.charge (Engine.clock engine) (Alu 6);
+      verdict (Batch.flow batch i))
 
 let payload_scan =
-  Stage.make ~name:"payload-scan" (fun engine batch ->
-      let clock = Engine.clock engine in
-      Batch.iter
-        (fun p ->
-          let off = Packet.payload_offset p in
-          let len = Packet.payload_length p in
-          Engine.touch_packet engine p ~off ~bytes:len;
-          let sum = ref 0 in
-          for i = 0 to len - 1 do
-            sum := !sum + Packet.read_payload_byte p i
-          done;
-          Cycles.Clock.charge clock (Alu len);
-          ignore !sum)
-        batch;
-      batch)
+  Stage.rewrite ~name:"payload-scan" (fun engine _batch _i p ->
+      let off = Packet.payload_offset p in
+      let len = Packet.payload_length p in
+      Engine.touch_packet engine p ~off ~bytes:len;
+      let sum = ref 0 in
+      for i = 0 to len - 1 do
+        sum := !sum + Packet.read_payload_byte p i
+      done;
+      Cycles.Clock.charge (Engine.clock engine) (Alu len);
+      ignore !sum)
 
 let fault_injector ~panic_after =
   if panic_after <= 0 then invalid_arg "Filters.fault_injector: panic_after must be positive";
   let seen = ref 0 in
-  Stage.make ~name:"fault-injector" (fun _engine batch ->
+  Stage.opaque ~name:"fault-injector" (fun _engine batch ->
       incr seen;
       if !seen >= panic_after then
         Sfi.Panic.panicf "fault-injector: simulated crash on batch %d" !seen;
       batch)
 
 let triggered_fault ~trigger =
-  Stage.make ~name:"triggered-fault" (fun _engine batch ->
+  Stage.opaque ~name:"triggered-fault" (fun _engine batch ->
       if !trigger then begin
         trigger := false;
         Sfi.Panic.panic "triggered-fault: injected crash"

@@ -22,9 +22,10 @@ val checksum_verify : Stage.t
 val maglev : Maglev.t -> Stage.t
 (** Per packet: extract the 5-tuple, steer through the Maglev tables,
     rewrite the destination IP to the chosen backend
-    (10.1.0.[backend]). *)
+    (10.1.0.[backend]). Declares [Maglev.on_change] as its
+    invalidation hook. *)
 
-val maglev_gre : Maglev.t -> vip:int32 -> Stage.t
+val maglev_gre : Maglev.t -> vip:int -> Stage.t
 (** The full NSDI'16 forwarding path: steer, then encapsulate the
     packet in a GRE tunnel from the load balancer ([vip]) to the
     chosen backend. Packets that cannot take the 24-byte overhead are

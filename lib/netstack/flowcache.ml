@@ -37,7 +37,7 @@ type t = {
   ttl : int64;
   guard_bytes : int;
   table : (int, entry) Hashtbl.t;
-  table_addr : int64;  (* synthetic address of the bucket array *)
+  table_addr : int;  (* synthetic address of the bucket array *)
   lru : entry;         (* sentinel: [lru.e_next] is most recent *)
   tele : tele option;
   mutable epoch : int;
@@ -165,7 +165,7 @@ let count_evict_lru t =
 
 let touch_bucket t key =
   let bucket = key land max_int mod t.capacity in
-  Cycles.Clock.touch t.clock (Int64.add t.table_addr (Int64.of_int (bucket * 16))) ~bytes:16
+  Cycles.Clock.touch t.clock (t.table_addr + (bucket * 16)) ~bytes:16
 
 (* memcmp of the guard against the packet's prefix, allocation-free. *)
 let guard_matches e (p : Packet.t) =
@@ -173,7 +173,7 @@ let guard_matches e (p : Packet.t) =
   g <= p.len
   &&
   let rec eq i =
-    i = g || (Char.equal (Bytes.unsafe_get p.buf i) (String.unsafe_get e.e_guard i) && eq (i + 1))
+    i = g || (Char.equal (Slab.unsafe_get p.buf i) (String.unsafe_get e.e_guard i) && eq (i + 1))
   in
   eq 0
 
@@ -227,7 +227,7 @@ let access t ~engine ~key (p : Packet.t) =
       else begin
         let out_plen = String.length e.e_out in
         let new_len = p.len + e.e_delta in
-        if new_len > Bytes.length p.buf then
+        if new_len > Slab.length p.buf then
           (* No room for the memoised expansion in this buffer; let the
              slow path raise/drop exactly as it would uncached. *)
           miss t
@@ -236,10 +236,10 @@ let access t ~engine ~key (p : Packet.t) =
              then overwrite the front with the memoised output prefix.
              [Bytes.blit] is overlap-safe in both directions. *)
           if e.e_delta <> 0 then begin
-            Bytes.blit p.buf g p.buf (g + e.e_delta) (p.len - g);
+            Slab.blit p.buf g p.buf (g + e.e_delta) (p.len - g);
             Cycles.Clock.charge t.clock (Copy (p.len - g))
           end;
-          Bytes.blit_string e.e_out 0 p.buf 0 out_plen;
+          Slab.blit_string e.e_out 0 p.buf 0 out_plen;
           p.len <- new_len;
           Engine.touch_packet_write engine p ~off:0 ~bytes:out_plen;
           t.hits <- t.hits + 1;
@@ -254,7 +254,7 @@ let access t ~engine ~key (p : Packet.t) =
 
 (* --- Slow-path install ------------------------------------------------ *)
 
-let guard_of t (p : Packet.t) = Bytes.sub_string p.buf 0 (min t.guard_bytes p.len)
+let guard_of t (p : Packet.t) = Slab.sub_string p.buf 0 (min t.guard_bytes p.len)
 
 let install t ~key ~guard ~out ~delta ~drop =
   Cycles.Clock.charge t.clock (Alu 6);

@@ -77,12 +77,8 @@ let equal a b =
        a.entries true
 
 let stage t =
-  Stage.make ~name:"flow-stats" (fun engine batch ->
-      Batch.iteri
-        (fun i p ->
-          Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-            ~bytes:(Packet.ipv4_header_bytes + 4);
-          Cycles.Clock.charge (Engine.clock engine) (Alu 6);
-          observe t (Batch.flow batch i))
-        batch;
-      batch)
+  Stage.rewrite ~name:"flow-stats" (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:(Packet.ipv4_header_bytes + 4);
+      Cycles.Clock.charge (Engine.clock engine) (Alu 6);
+      observe t (Batch.flow batch i))

@@ -1,11 +1,94 @@
+(* The connection table sits on the per-packet fast path, and the
+   steady-state lookup already holds the flow's 62-bit FNV (the batch
+   sidecar precomputes it), so a stock [Hashtbl] — which would re-hash
+   the boxed-int32 record on every probe and chase bucket-list cells —
+   costs two dependent cache misses more than it needs to. This is a
+   linear-probing open-addressing map keyed by the precomputed hash:
+   a probe compares immediate ints and only consults the flow record
+   (via [Flow.equal]) when the hashes collide. Lookup/insert/reset
+   semantics match [Hashtbl] exactly; there is no delete. *)
+module Conn = struct
+  type t = {
+    mutable keys : int array;  (* [Flow.hash] of the occupant; -1 = empty *)
+    mutable flows : Flow.t array;
+    mutable vals : int array;
+    mutable mask : int;  (* capacity - 1, capacity a power of two *)
+    mutable count : int;
+  }
+
+  let dummy_flow =
+    Flow.make ~src_ip:0l ~dst_ip:0l ~src_port:0 ~dst_port:0 ~protocol:Flow.Udp
+
+  let rec pow2_at_least n c = if c >= n then c else pow2_at_least n (c * 2)
+
+  let alloc cap =
+    (Array.make cap (-1), Array.make cap dummy_flow, Array.make cap 0)
+
+  let create cap =
+    let cap = pow2_at_least (max 16 cap) 16 in
+    let keys, flows, vals = alloc cap in
+    { keys; flows; vals; mask = cap - 1; count = 0 }
+
+  (* Index of [flow]'s slot, or of the empty slot where it belongs. *)
+  let rec slot_from t ~key flow i =
+    let k = Array.unsafe_get t.keys i in
+    if k = -1 then i
+    else if k = key && Flow.equal (Array.unsafe_get t.flows i) flow then i
+    else slot_from t ~key flow ((i + 1) land t.mask)
+
+  let[@inline] slot t ~key flow = slot_from t ~key flow (key land t.mask)
+
+  (* -1 when absent (backends are nonnegative indices). *)
+  let find t ~key flow =
+    let i = slot t ~key flow in
+    if Array.unsafe_get t.keys i = -1 then -1 else Array.unsafe_get t.vals i
+
+  let grow t =
+    let cap = (t.mask + 1) * 2 in
+    let keys, flows, vals = alloc cap in
+    let old_keys = t.keys and old_flows = t.flows and old_vals = t.vals in
+    t.keys <- keys;
+    t.flows <- flows;
+    t.vals <- vals;
+    t.mask <- cap - 1;
+    Array.iteri
+      (fun i k ->
+        if k >= 0 then begin
+          let j = slot t ~key:k old_flows.(i) (* fresh table: lands on empty *) in
+          t.keys.(j) <- k;
+          t.flows.(j) <- old_flows.(i);
+          t.vals.(j) <- old_vals.(i)
+        end)
+      old_keys
+
+  let replace t ~key flow v =
+    let i = slot t ~key flow in
+    if Array.unsafe_get t.keys i = -1 then begin
+      t.keys.(i) <- key;
+      t.flows.(i) <- flow;
+      t.vals.(i) <- v;
+      t.count <- t.count + 1;
+      (* Keep load factor under 3/4 so probe chains stay short. *)
+      if t.count * 4 > (t.mask + 1) * 3 then grow t
+    end
+    else t.vals.(i) <- v
+
+  let length t = t.count
+
+  let reset t =
+    Array.fill t.keys 0 (Array.length t.keys) (-1);
+    Array.fill t.flows 0 (Array.length t.flows) dummy_flow;
+    t.count <- 0
+end
+
 type t = {
   clock : Cycles.Clock.t;
   table_size : int;
   mutable backends : string array;
   mutable table : int array;
-  table_addr : int64;
-  conn : (Flow.t, int) Hashtbl.t;
-  conn_addr : int64;
+  table_addr : int;
+  conn : Conn.t;
+  conn_addr : int;
   conn_buckets : int;
   mutable subscribers : (unit -> unit) list;  (* registration order *)
 }
@@ -62,7 +145,7 @@ let create ~clock ~backends ?(table_size = 65537) () =
     backends = Array.copy backends;
     table = build_table ~table_size backends;
     table_addr = Cycles.Clock.alloc_addr clock ~bytes:(table_size * 4);
-    conn = Hashtbl.create conn_buckets;
+    conn = Conn.create conn_buckets;
     conn_addr = Cycles.Clock.alloc_addr clock ~bytes:(conn_buckets * 16);
     conn_buckets;
     subscribers = [];
@@ -82,16 +165,16 @@ let table_entry t i =
   if i < 0 || i >= t.table_size then invalid_arg "Maglev.table_entry";
   t.table.(i)
 
-let connection_count t = Hashtbl.length t.conn
+let connection_count t = Conn.length t.conn
 
 let charge_hash t = Cycles.Clock.charge t.clock (Alu 12)
 
 let touch_table_entry t idx =
-  Cycles.Clock.touch t.clock (Int64.add t.table_addr (Int64.of_int (idx * 4))) ~bytes:4
+  Cycles.Clock.touch t.clock (t.table_addr + (idx * 4)) ~bytes:4
 
 let touch_conn_bucket t flow =
   let bucket = Flow.hash2 flow mod t.conn_buckets in
-  Cycles.Clock.touch t.clock (Int64.add t.conn_addr (Int64.of_int (bucket * 16))) ~bytes:16
+  Cycles.Clock.touch t.clock (t.conn_addr + (bucket * 16)) ~bytes:16
 
 let lookup_no_track t flow =
   charge_hash t;
@@ -107,17 +190,18 @@ let lookup_keyed t flow ~key =
   charge_hash t;
   touch_conn_bucket t flow;
   Cycles.Clock.charge t.clock Branch_hit;
-  match Hashtbl.find_opt t.conn flow with
-  | Some backend -> backend
-  | None ->
+  let cached = Conn.find t.conn ~key flow in
+  if cached >= 0 then cached
+  else begin
     let idx = key mod t.table_size in
     touch_table_entry t idx;
     let backend = t.table.(idx) in
     (* Record affinity. *)
     Cycles.Clock.charge t.clock (Alu 4);
     touch_conn_bucket t flow;
-    Hashtbl.replace t.conn flow backend;
+    Conn.replace t.conn ~key flow backend;
     backend
+  end
 
 let lookup t flow = lookup_keyed t flow ~key:(Flow.hash flow)
 
@@ -139,8 +223,8 @@ let set_backends t backends =
   !changed
 
 let flush_connections t =
-  let n = Hashtbl.length t.conn in
-  Hashtbl.reset t.conn;
+  let n = Conn.length t.conn in
+  Conn.reset t.conn;
   fire t;
   n
 

@@ -2,14 +2,14 @@ type t = {
   clock : Cycles.Clock.t;
   capacity : int;
   buf_bytes : int;
-  base_addr : int64;
-  buffers : Bytes.t array;
+  base_addr : int;
+  buffers : Slab.buf array;
   free_slots : int array;      (* LIFO stack of free slot indices *)
   mutable free_top : int;      (* number of free slots *)
   slot_free : bool array;      (* double-free detection *)
   slot_serial : int array;     (* allocation serial of each live slot *)
   mutable next_serial : int;
-  freelist_addr : int64;
+  freelist_addr : int;
 }
 
 (* 2048 B of data room + 128 B headroom + 64 B of mbuf metadata, as in
@@ -19,7 +19,8 @@ type t = {
    large batches exert on everything else. *)
 let default_buf_bytes = 2240
 
-let create ~clock ~capacity ?(buf_bytes = default_buf_bytes) () =
+let create ~clock ~capacity ?(buf_bytes = default_buf_bytes)
+    ?(backing = Slab.Off_heap) () =
   if capacity <= 0 then invalid_arg "Mempool.create: capacity must be positive";
   let base_addr = Cycles.Clock.alloc_addr clock ~bytes:(capacity * buf_bytes) in
   {
@@ -27,7 +28,7 @@ let create ~clock ~capacity ?(buf_bytes = default_buf_bytes) () =
     capacity;
     buf_bytes;
     base_addr;
-    buffers = Array.init capacity (fun _ -> Bytes.create buf_bytes);
+    buffers = Slab.make_slots backing ~slots:capacity ~bytes:buf_bytes;
     free_slots = Array.init capacity (fun i -> capacity - 1 - i);
     free_top = capacity;
     slot_free = Array.make capacity true;
@@ -41,8 +42,7 @@ let buf_bytes t = t.buf_bytes
 let available t = t.free_top
 let in_use t = t.capacity - t.free_top
 
-let addr_of_slot t slot =
-  Int64.add t.base_addr (Int64.of_int (slot * t.buf_bytes))
+let addr_of_slot t slot = t.base_addr + (slot * t.buf_bytes)
 
 let alloc t =
   Cycles.Clock.touch t.clock t.freelist_addr ~bytes:8;
@@ -90,7 +90,7 @@ let alloc_batch t batch n =
 let is_allocated t (p : Packet.t) =
   p.slot >= 0
   && p.slot < t.capacity
-  && Int64.equal p.addr (addr_of_slot t p.slot)
+  && p.addr = addr_of_slot t p.slot
   && not t.slot_free.(p.slot)
 
 let free_slot t slot =
@@ -101,7 +101,7 @@ let free_slot t slot =
   t.free_top <- t.free_top + 1
 
 let free t (p : Packet.t) =
-  if p.slot < 0 || p.slot >= t.capacity || not (Int64.equal p.addr (addr_of_slot t p.slot))
+  if p.slot < 0 || p.slot >= t.capacity || p.addr <> addr_of_slot t p.slot
   then invalid_arg "Mempool.free: foreign packet";
   if t.slot_free.(p.slot) then invalid_arg "Mempool.free: double free";
   free_slot t p.slot

@@ -1,11 +1,11 @@
 type t = {
   clock : Cycles.Clock.t;
-  external_ip : int32;
+  external_ip : int;
   first_port : int;
   last_port : int;
   forward : (Flow.t, int) Hashtbl.t;   (* internal flow -> external port *)
   reverse : (int, Flow.t) Hashtbl.t;
-  table_addr : int64;
+  table_addr : int;
   mutable next_port : int;
   mutable drops : int;
   mutable subscribers : (unit -> unit) list;  (* registration order *)
@@ -38,7 +38,7 @@ let drops t = t.drops
 
 let touch_entry t key =
   Cycles.Clock.touch t.clock
-    (Int64.add t.table_addr (Int64.of_int (key land 0xFFFF * 16 mod (64 * 1024))))
+    (t.table_addr + (key land 0xFFFF * 16 mod (64 * 1024)))
     ~bytes:16
 
 (* Next free port, scanning at most one full cycle of the range. *)
@@ -90,23 +90,20 @@ let flush t =
   n
 
 let stage t =
-  Stage.make ~name:"snat" (fun engine batch ->
-      let dropped =
-        Batch.filteri_in_place batch (fun i p ->
-            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-              ~bytes:(Packet.ipv4_header_bytes + 4);
-            let flow = Batch.flow batch i in
-            match translate t flow with
-            | None ->
-              t.drops <- t.drops + 1;
-              false
-            | Some (ip, port) ->
-              Packet.set_src_ip p ip;
-              Packet.set_src_port p port;
-              (* The source half of the tuple just changed. *)
-              Batch.invalidate_flow batch i;
-              Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 12) ~bytes:8;
-              true)
-      in
-      List.iter (fun p -> Mempool.free (Engine.pool engine) p) dropped;
-      batch)
+  Stage.filter ~name:"snat"
+    ~hooks:[ on_mutate t ]
+    (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:(Packet.ipv4_header_bytes + 4);
+      let flow = Batch.flow batch i in
+      match translate t flow with
+      | None ->
+        t.drops <- t.drops + 1;
+        false
+      | Some (ip, port) ->
+        Packet.set_src_ip_int p ip;
+        Packet.set_src_port p port;
+        (* The source half of the tuple just changed. *)
+        Batch.invalidate_flow batch i;
+        Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 12) ~bytes:8;
+        true)

@@ -10,17 +10,18 @@
 type t
 
 val create :
-  clock:Cycles.Clock.t -> external_ip:int32 -> ?first_port:int -> ?last_port:int -> unit -> t
+  clock:Cycles.Clock.t -> external_ip:int -> ?first_port:int -> ?last_port:int -> unit -> t
 (** Port range defaults to \[10000, 60000\]. Raises [Invalid_argument]
     on an empty or out-of-range port range. *)
 
-val external_ip : t -> int32
+val external_ip : t -> int
 
 val stage : t -> Stage.t
-(** The pipeline stage: rewrites every packet of the batch, dropping
-    packets when the port pool is exhausted. *)
+(** The pipeline stage: a filter kernel rewriting every packet's
+    source (IP, port), dropping packets when the port pool is
+    exhausted. Declares {!on_mutate} as its invalidation hook. *)
 
-val translate : t -> Flow.t -> (int32 * int) option
+val translate : t -> Flow.t -> (int * int) option
 (** The external (ip, port) an internal flow is (or would newly be)
     mapped to; [None] when the pool is exhausted. *)
 

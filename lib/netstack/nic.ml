@@ -6,8 +6,8 @@ type tele = {
 type t = {
   engine : Engine.t;
   traffic : Traffic.t;
-  ring_addr : int64;
-  driver_state_addr : int64;
+  ring_addr : int;
+  driver_state_addr : int;
   driver_rng : Cycles.Rng.t;
   tele : tele option;
   mutable rx_packets : int;
@@ -58,7 +58,7 @@ let craft_packet_for t (p : Packet.t) (flow : Flow.t) =
   Engine.touch_packet_write t.engine p ~off:(Mempool.buf_bytes pool - 128) ~bytes:128;
   let line = Cycles.Rng.int t.driver_rng (driver_state_bytes / 64) in
   Cycles.Clock.touch (Engine.clock t.engine)
-    (Int64.add t.driver_state_addr (Int64.of_int (line * 64)))
+    (t.driver_state_addr + (line * 64))
     ~bytes:8;
   Cycles.Clock.charge (Engine.clock t.engine) (Alu 8)
 
@@ -71,7 +71,7 @@ let rx_batch t n =
      for i = 0 to n - 1 do
        (* Read the rx descriptor ring entry. *)
        Cycles.Clock.touch clock
-         (Int64.add t.ring_addr (Int64.of_int (i * 16 mod 4096)))
+         (t.ring_addr + (i * 16 mod 4096))
          ~bytes:16;
        if not (Mempool.alloc_into pool batch) then raise Exit;
        let slot = Batch.length batch - 1 in
@@ -103,7 +103,7 @@ let rx_batch_filtered t n ~keep =
        if keep flow then begin
          (* Read the rx descriptor ring entry. *)
          Cycles.Clock.touch clock
-           (Int64.add t.ring_addr (Int64.of_int (i * 16 mod 4096)))
+           (t.ring_addr + (i * 16 mod 4096))
            ~bytes:16;
          if not (Mempool.alloc_into pool batch) then raise Exit;
          let slot = Batch.length batch - 1 in
@@ -132,7 +132,7 @@ let tx_batch t batch =
     let p = Batch.get batch i in
     (* Write the tx descriptor. *)
     Cycles.Clock.touch clock
-      (Int64.add t.ring_addr (Int64.of_int (2048 + (i * 16 mod 2048))))
+      (t.ring_addr + (2048 + (i * 16 mod 2048)))
       ~bytes:16;
     (* Reading the mbuf metadata to build the descriptor. *)
     Engine.touch_packet t.engine p ~off:mbuf_off ~bytes:64;

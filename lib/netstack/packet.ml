@@ -1,7 +1,7 @@
 type t = {
-  buf : Bytes.t;
+  buf : Slab.buf;
   mutable len : int;
-  addr : int64;
+  addr : int;
   slot : int;
 }
 
@@ -12,20 +12,23 @@ let tcp_header_bytes = 20
 let min_frame_bytes = 64
 
 (* Byte-order helpers: network order is big-endian. 16-bit words go
-   through the stdlib's single-load [Bytes.get_uint16_be] accessors;
-   32-bit quantities are composed from two word reads so the value
-   stays an immediate int end to end — the [int32] accessors below are
-   thin boxing wrappers kept for the external API only. *)
-let[@inline] get_u8 b off = Char.code (Bytes.get b off)
-let[@inline] set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
-let[@inline] get_u16 b off = Bytes.get_uint16_be b off
-let[@inline] set_u16 b off v = Bytes.set_uint16_be b off v
+   through {!Slab}'s word accessors; 32-bit quantities are composed
+   from two word reads so the value stays an immediate int end to
+   end — there is no boxed [int32] anywhere on the data path. *)
+let[@inline] get_u8 b off = Slab.get_u8 b off
+let[@inline] set_u8 b off v = Slab.set_u8 b off v
+let[@inline] get_u16 b off = Slab.get_u16_be b off
+let[@inline] set_u16 b off v = Slab.set_u16_be b off v
 
-let[@inline] get_u32_int b off = (Bytes.get_uint16_be b off lsl 16) lor Bytes.get_uint16_be b (off + 2)
+let[@inline] get_u32_int b off = (Slab.get_u16_be b off lsl 16) lor Slab.get_u16_be b (off + 2)
 
 let[@inline] set_u32_int b off v =
-  Bytes.set_uint16_be b off (v lsr 16);
-  Bytes.set_uint16_be b (off + 2) v
+  Slab.set_u16_be b off (v lsr 16);
+  Slab.set_u16_be b (off + 2) v
+
+let of_buf ?(addr = 0) ?(slot = -1) buf = { buf; len = 0; addr; slot }
+let of_bytes ?addr ?slot b = of_buf ?addr ?slot (Slab.of_bytes b)
+let to_string t = Slab.sub_string t.buf 0 t.len
 
 (* --- IPv4 header ---------------------------------------------------- *)
 
@@ -67,45 +70,70 @@ let ipv4_checksum_ok t =
 (* Deterministic payload: byte [i] of the payload is [i land 0xff], so
    any payload is a whole number of copies of this 256-byte ramp plus a
    prefix — filled by blits rather than a byte-at-a-time loop. *)
-let payload_pattern = Bytes.init 256 Char.chr
+let payload_pattern = String.init 256 Char.chr
 
 let fill_payload b pos bytes =
   let full = bytes / 256 in
   for k = 0 to full - 1 do
-    Bytes.blit payload_pattern 0 b (pos + (k * 256)) 256
+    Slab.blit_string payload_pattern 0 b (pos + (k * 256)) 256
   done;
-  Bytes.blit payload_pattern 0 b (pos + (full * 256)) (bytes - (full * 256))
+  Slab.blit_string payload_pattern 0 b (pos + (full * 256)) (bytes - (full * 256))
+
+(* Unchecked header writers for {!craft} only: the crafting path
+   validates [total <= length buf] once up front, and every offset it
+   writes is below [total], so per-field bounds checks are redundant —
+   and measurable, since the NIC crafts every simulated packet. *)
+let[@inline] uset b i v = Slab.unsafe_set b i (Char.unsafe_chr (v land 0xff))
+
+let[@inline] uset16 b i v =
+  uset b i (v lsr 8);
+  uset b (i + 1) v
 
 let craft ~l4_protocol ~l4_header_bytes ~write_l4 t ~flow ~payload_bytes ~ttl =
   let total = eth_header_bytes + ipv4_header_bytes + l4_header_bytes + payload_bytes in
-  if total > Bytes.length t.buf then invalid_arg "Packet.craft: buffer too small";
+  if total > Slab.length t.buf then invalid_arg "Packet.craft: buffer too small";
   if ttl < 0 || ttl > 255 then invalid_arg "Packet.craft: bad TTL";
   let b = t.buf in
   let src = Int32.to_int flow.Flow.src_ip land 0xFFFFFFFF in
   let dst = Int32.to_int flow.Flow.dst_ip land 0xFFFFFFFF in
-  (* Ethernet: synthetic MACs derived from the IPs; ethertype IPv4. *)
-  for i = 0 to 5 do
-    set_u8 b i (dst lsr (8 * (i mod 4)));
-    set_u8 b (6 + i) (src lsr (8 * (i mod 4)))
-  done;
-  set_u16 b 12 0x0800;
+  (* Ethernet: synthetic MACs derived from the IPs (byte [i] of a MAC
+     is byte [i mod 4] of the IP); ethertype IPv4. *)
+  let d0 = dst land 0xff and d1 = (dst lsr 8) land 0xff in
+  let d2 = (dst lsr 16) land 0xff and d3 = (dst lsr 24) land 0xff in
+  let s0 = src land 0xff and s1 = (src lsr 8) land 0xff in
+  let s2 = (src lsr 16) land 0xff and s3 = (src lsr 24) land 0xff in
+  uset b 0 d0; uset b 1 d1; uset b 2 d2; uset b 3 d3; uset b 4 d0; uset b 5 d1;
+  uset b 6 s0; uset b 7 s1; uset b 8 s2; uset b 9 s3; uset b 10 s0; uset b 11 s1;
+  uset16 b 12 0x0800;
   (* IPv4. *)
-  set_u8 b ip_off 0x45;
-  set_u8 b (ip_off + 1) 0;
-  set_u16 b (ip_off + 2) (ipv4_header_bytes + l4_header_bytes + payload_bytes);
-  set_u16 b (ip_off + 4) 0 (* identification *);
-  set_u16 b (ip_off + 6) 0x4000 (* DF, no fragments *);
-  set_u8 b (ip_off + 8) ttl;
-  set_u8 b (ip_off + 9) l4_protocol;
-  set_u16 b (ip_off + 10) 0 (* checksum, installed below *);
-  set_u32_int b (ip_off + 12) src;
-  set_u32_int b (ip_off + 16) dst;
+  let ip_len = ipv4_header_bytes + l4_header_bytes + payload_bytes in
+  let ttl_proto = (ttl lsl 8) lor (l4_protocol land 0xff) in
+  uset b ip_off 0x45;
+  uset b (ip_off + 1) 0;
+  uset16 b (ip_off + 2) ip_len;
+  uset16 b (ip_off + 4) 0 (* identification *);
+  uset16 b (ip_off + 6) 0x4000 (* DF, no fragments *);
+  uset16 b (ip_off + 8) ttl_proto;
+  uset16 b (ip_off + 12) (src lsr 16);
+  uset16 b (ip_off + 14) src;
+  uset16 b (ip_off + 16) (dst lsr 16);
+  uset16 b (ip_off + 18) dst;
+  (* RFC 1071 checksum, computed from the values just written instead
+     of re-reading the header — same nine live words as
+     {!ipv4_checksum_compute}. *)
+  let sum =
+    0x4500 + ip_len + 0x4000 + ttl_proto
+    + (src lsr 16) + (src land 0xffff)
+    + (dst lsr 16) + (dst land 0xffff)
+  in
+  let sum = (sum land 0xffff) + (sum lsr 16) in
+  let sum = (sum land 0xffff) + (sum lsr 16) in
+  uset16 b (ip_off + 10) (lnot sum land 0xffff);
   (* L4. *)
   let l4 = ip_off + ipv4_header_bytes in
   write_l4 b l4 flow;
   fill_payload b (l4 + l4_header_bytes) payload_bytes;
-  t.len <- total;
-  install_checksum t
+  t.len <- total
 
 let craft_udp t ~flow ~payload_bytes ~ttl =
   (match flow.Flow.protocol with
@@ -113,10 +141,10 @@ let craft_udp t ~flow ~payload_bytes ~ttl =
   | Flow.Tcp -> invalid_arg "Packet.craft_udp: flow protocol is TCP");
   craft t ~flow ~payload_bytes ~ttl ~l4_protocol:17 ~l4_header_bytes:udp_header_bytes
     ~write_l4:(fun b l4 flow ->
-      set_u16 b l4 flow.Flow.src_port;
-      set_u16 b (l4 + 2) flow.Flow.dst_port;
-      set_u16 b (l4 + 4) (udp_header_bytes + payload_bytes);
-      set_u16 b (l4 + 6) 0 (* UDP checksum optional over IPv4 *))
+      uset16 b l4 flow.Flow.src_port;
+      uset16 b (l4 + 2) flow.Flow.dst_port;
+      uset16 b (l4 + 4) (udp_header_bytes + payload_bytes);
+      uset16 b (l4 + 6) 0 (* UDP checksum optional over IPv4 *))
 
 let craft_tcp t ~flow ~payload_bytes ~ttl =
   (match flow.Flow.protocol with
@@ -198,9 +226,9 @@ let set_ttl t v =
   set_u8 t.buf (ip_off + 8) v;
   update_checksum_word t ~old_word ~new_word:(get_u16 t.buf (ip_off + 8))
 
-(* Unboxed 32-bit address accessors: the values stay immediate ints on
-   the data path (Maglev backend steering, NAT rewrites); the [int32]
-   variants below wrap these for the external API. *)
+(* Unboxed 32-bit address accessors: the values are immediate ints on
+   the whole data path (Maglev backend steering, NAT rewrites). The
+   deprecated boxed [int32] wrappers are gone. *)
 
 let dst_ip_int t =
   check_ipv4 t;
@@ -223,11 +251,6 @@ let set_src_ip_int t v =
   set_u32_int t.buf (ip_off + 12) v;
   update_checksum_word t ~old_word:old_hi ~new_word:(get_u16 t.buf (ip_off + 12));
   update_checksum_word t ~old_word:old_lo ~new_word:(get_u16 t.buf (ip_off + 14))
-
-let dst_ip t = Int32.of_int (dst_ip_int t)
-let set_dst_ip t v = set_dst_ip_int t (Int32.to_int v land 0xFFFFFFFF)
-let src_ip t = Int32.of_int (src_ip_int t)
-let set_src_ip t v = set_src_ip_int t (Int32.to_int v land 0xFFFFFFFF)
 
 let src_port t =
   ignore (protocol t);
@@ -273,11 +296,11 @@ let gre_overhead_bytes = ipv4_header_bytes + 4
 
 let encap_gre t ~outer_src ~outer_dst =
   check_ipv4 t;
-  if t.len + gre_overhead_bytes > Bytes.length t.buf then
+  if t.len + gre_overhead_bytes > Slab.length t.buf then
     invalid_arg "Packet.encap_gre: buffer too small";
   let inner_bytes = t.len - ip_off in
   (* Shift the inner IPv4 packet right to make room for outer IP + GRE. *)
-  Bytes.blit t.buf ip_off t.buf (ip_off + gre_overhead_bytes) inner_bytes;
+  Slab.blit t.buf ip_off t.buf (ip_off + gre_overhead_bytes) inner_bytes;
   t.len <- t.len + gre_overhead_bytes;
   let b = t.buf in
   (* Outer IPv4 header: protocol 47 (GRE). *)
@@ -289,8 +312,8 @@ let encap_gre t ~outer_src ~outer_dst =
   set_u8 b (ip_off + 8) 64;
   set_u8 b (ip_off + 9) 47;
   set_u16 b (ip_off + 10) 0;
-  set_u32_int b (ip_off + 12) (Int32.to_int outer_src land 0xFFFFFFFF);
-  set_u32_int b (ip_off + 16) (Int32.to_int outer_dst land 0xFFFFFFFF);
+  set_u32_int b (ip_off + 12) (outer_src land 0xFFFFFFFF);
+  set_u32_int b (ip_off + 16) (outer_dst land 0xFFFFFFFF);
   install_checksum t;
   (* Minimal GRE header: no flags, protocol type IPv4. *)
   set_u16 b (ip_off + ipv4_header_bytes) 0;
@@ -306,7 +329,7 @@ let decap_gre t =
   if get_u16 t.buf (ip_off + ipv4_header_bytes + 2) <> 0x0800 then
     invalid_arg "Packet.decap_gre: GRE payload is not IPv4";
   let inner_bytes = t.len - ip_off - gre_overhead_bytes in
-  Bytes.blit t.buf (ip_off + gre_overhead_bytes) t.buf ip_off inner_bytes;
+  Slab.blit t.buf (ip_off + gre_overhead_bytes) t.buf ip_off inner_bytes;
   t.len <- t.len - gre_overhead_bytes
 
 let pp ppf t =

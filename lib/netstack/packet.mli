@@ -10,11 +10,22 @@
     are real (RFC 1071) and verified by tests. *)
 
 type t = {
-  buf : Bytes.t;
+  buf : Slab.buf;
   mutable len : int;
-  addr : int64;       (** Synthetic base address of the buffer. *)
+  addr : int;         (** Synthetic base address of the buffer. *)
   slot : int;         (** Index of the buffer in its pool. *)
 }
+
+val of_buf : ?addr:int -> ?slot:int -> Slab.buf -> t
+(** Wrap any {!Slab.buf} (a slot view or a free-standing buffer) as a
+    packet with [len = 0]. *)
+
+val of_bytes : ?addr:int -> ?slot:int -> Bytes.t -> t
+(** Wrap a free-standing [Bytes.t] as a packet with [len = 0] — for
+    tests and scratch buffers outside any pool. *)
+
+val to_string : t -> string
+(** The packet's live bytes, [0 .. len), as a fresh string. *)
 
 (** {2 Sizes and offsets} *)
 
@@ -54,21 +65,12 @@ val ttl : t -> int
 val set_ttl : t -> int -> unit
 (** Updates the checksum incrementally (RFC 1624). *)
 
-val dst_ip : t -> int32
-val set_dst_ip : t -> int32 -> unit
-(** Rewrites the destination address (Maglev backend steering) and
-    fixes the checksum. *)
-
-val src_ip : t -> int32
-val set_src_ip : t -> int32 -> unit
-(** Rewrites the source address (NAT) and fixes the checksum. *)
-
 (** {3 Unboxed address accessors}
 
-    The same four operations with the address as a raw unsigned 32-bit
-    value in an immediate [int] — what the hot path (Maglev steering,
-    NAT rewrites, checksum installs) uses so that no [Int32] is boxed
-    per packet. The [int32] accessors above are wrappers over these. *)
+    IPv4 addresses travel as raw unsigned 32-bit values in immediate
+    [int]s — Maglev steering, NAT rewrites and checksum installs never
+    box an [Int32]. (The historical [int32] wrappers are gone; see the
+    README migration notes.) Setters fix the checksum incrementally. *)
 
 val dst_ip_int : t -> int
 val set_dst_ip_int : t -> int -> unit
@@ -99,7 +101,7 @@ val ip_total_length : t -> int
 val gre_overhead_bytes : int
 (** 24 — outer IPv4 header (20) + minimal GRE header (4). *)
 
-val encap_gre : t -> outer_src:int32 -> outer_dst:int32 -> unit
+val encap_gre : t -> outer_src:int -> outer_dst:int -> unit
 (** Shift the inner IPv4 packet and prepend an outer IPv4+GRE header
     addressed to the backend. Raises [Invalid_argument] if the buffer
     cannot take the extra 24 bytes. The outer header checksum is

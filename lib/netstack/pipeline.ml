@@ -4,14 +4,26 @@ type mode =
   | Copying
   | Tagged
 
-type isolated_stage = {
+(* A fused group: a maximal run of adjacent fusible kernels
+   (Rewrite/Filter), or a single Opaque stage (opaque kernels are
+   fusion barriers). [g_base] is the pipeline index of the first
+   member, so member [k] is stage [g_base + k] for skip flags,
+   telemetry and supervisor attribution. *)
+type group = {
+  g_base : int;
+  g_stages : Stage.t array;
+  g_name : string;  (* member names joined with "+" *)
+}
+
+type isolated_cell = {
+  ic_group : group;
   domain : Sfi.Pdomain.t;
-  mutable rref : Stage.t Sfi.Rref.t;
+  mutable rref : Stage.t array Sfi.Rref.t;
 }
 
 type prepared =
-  | P_calls of Stage.t array          (* Direct / Copying / Tagged share this *)
-  | P_isolated of Sfi.Manager.t * isolated_stage array
+  | P_calls of group array            (* Direct / Copying / Tagged share this *)
+  | P_isolated of Sfi.Manager.t * isolated_cell array
 
 (* Pre-resolved per-stage handles under [netstack.stage.<name>.*]. *)
 type stage_tele = {
@@ -53,11 +65,17 @@ type t = {
   stage_engine : Engine.t;  (* Tagged: a Tagged view of [engine]; else [engine] *)
   mode : mode;
   prepared : prepared;
+  groups : group array;
+  group_of_stage : int array;  (* stage index -> index into [groups] *)
   n_stages : int;
   skipped : bool array;  (* degraded stages the batch routes around *)
   tele : tele option;
   fcs : fc_state option;
   mutable scratch : Packet.t array;  (* isolated-mode in-flight snapshots, reused *)
+  mutable drop_scratch : Packet.t array;  (* fused filter-pass drops, reused *)
+  mutable m_in : int array;   (* per group member: batch length entering; -1 = not run *)
+  mutable m_out : int array;  (* per group member: batch length leaving *)
+  mutable m_cur : int;        (* member executing inside the current crossing *)
   mutable batches_ok : int;
   mutable batches_failed : int;
   mutable batches_degraded : int;
@@ -66,29 +84,59 @@ type t = {
 
 (* Fills unused scratch slots; never dereferenced (guarded by the
    snapshot length). *)
-let null_packet = { Packet.buf = Bytes.create 0; len = 0; addr = 0L; slot = -1 }
+let null_packet = { Packet.buf = Slab.of_bytes Bytes.empty; len = 0; addr = 0; slot = -1 }
 
-let prepare_isolated mgr stages =
-  List.map
-    (fun (stage : Stage.t) ->
-      let domain = Sfi.Manager.create_domain mgr ~name:stage.Stage.name () in
+let fusible (s : Stage.t) =
+  match s.Stage.kernel with
+  | Stage.Rewrite _ | Stage.Filter _ -> true
+  | Stage.Opaque _ -> false
+
+(* The fusion pass: partition the stage list into maximal runs of
+   fusible kernels, with every Opaque stage a singleton. Copying mode
+   never fuses: its per-boundary deep copy is exactly what the mode
+   exists to measure, so collapsing boundaries would erase the
+   experiment. *)
+let compute_groups ~fuse stages =
+  let stages = Array.of_list stages in
+  let n = Array.length stages in
+  let groups = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + 1) in
+    if fuse && fusible stages.(!i) then
+      while !j < n && fusible stages.(!j) do
+        incr j
+      done;
+    let members = Array.sub stages !i (!j - !i) in
+    let name =
+      String.concat "+" (List.map (fun (s : Stage.t) -> s.Stage.name) (Array.to_list members))
+    in
+    groups := { g_base = !i; g_stages = members; g_name = name } :: !groups;
+    i := !j
+  done;
+  Array.of_list (List.rev !groups)
+
+let prepare_isolated mgr groups =
+  Array.map
+    (fun (grp : group) ->
+      let domain = Sfi.Manager.create_domain mgr ~name:grp.g_name () in
       let rref =
         match
           Sfi.Pdomain.execute domain (fun () ->
-              Sfi.Rref.create domain ~label:stage.Stage.name stage)
+              Sfi.Rref.create domain ~label:grp.g_name grp.g_stages)
         with
         | Ok r -> r
         | Error e ->
           invalid_arg
-            (Printf.sprintf "Pipeline: cannot install stage %s: %s" stage.Stage.name
+            (Printf.sprintf "Pipeline: cannot install stage %s: %s" grp.g_name
                (Sfi.Sfi_error.to_string e))
       in
-      let cell = { domain; rref } in
-      (* Recovery re-publishes the same stage behind a fresh proxy. *)
+      let cell = { ic_group = grp; domain; rref } in
+      (* Recovery re-publishes the same stages behind a fresh proxy. *)
       Sfi.Pdomain.set_recovery domain
-        (Some (fun d -> cell.rref <- Sfi.Rref.create d ~label:stage.Stage.name stage));
+        (Some (fun d -> cell.rref <- Sfi.Rref.create d ~label:grp.g_name grp.g_stages));
       cell)
-    stages
+    groups
 
 let make_tele engine stages =
   match Engine.telemetry engine with
@@ -116,7 +164,7 @@ let make_tele engine stages =
                stages);
       }
 
-let create ~engine ~mode ?flowcache stages =
+let create ~engine ~mode ?(fuse = true) ?flowcache stages =
   if stages = [] then invalid_arg "Pipeline.create: no stages";
   (match (mode, flowcache) with
   | Copying, Some _ ->
@@ -126,10 +174,23 @@ let create ~engine ~mode ?flowcache stages =
        mode exists to measure) does not survive that. *)
     invalid_arg "Pipeline.create: flowcache is incompatible with Copying mode"
   | (Direct | Isolated _ | Tagged | Copying), _ -> ());
+  let fuse = fuse && match mode with Copying -> false | Direct | Isolated _ | Tagged -> true in
+  let groups = compute_groups ~fuse stages in
+  let n_stages = List.length stages in
+  let group_of_stage = Array.make n_stages 0 in
+  Array.iteri
+    (fun g (grp : group) ->
+      for k = 0 to Array.length grp.g_stages - 1 do
+        group_of_stage.(grp.g_base + k) <- g
+      done)
+    groups;
+  let max_group =
+    Array.fold_left (fun m g -> max m (Array.length g.g_stages)) 1 groups
+  in
   let prepared =
     match mode with
-    | Direct | Copying | Tagged -> P_calls (Array.of_list stages)
-    | Isolated mgr -> P_isolated (mgr, Array.of_list (prepare_isolated mgr stages))
+    | Direct | Copying | Tagged -> P_calls groups
+    | Isolated mgr -> P_isolated (mgr, prepare_isolated mgr groups)
   in
   (* The mode is part of the pipeline's identity, fixed at creation:
      a Tagged pipeline owns a Tagged *view* of the engine rather than
@@ -140,6 +201,18 @@ let create ~engine ~mode ?flowcache stages =
     | Tagged -> Engine.with_mode engine Engine.Tagged
     | Direct | Copying | Isolated _ -> engine
   in
+  (* The cache's staleness barrier, wired by construction: every hook a
+     stage descriptor declares gets the cache's invalidation
+     registered through it, so a mutation of any state the chain's
+     verdicts depend on flushes the memoised verdicts without the
+     call site having to remember to. *)
+  (match flowcache with
+  | Some fc ->
+    List.iter
+      (fun (stage : Stage.t) ->
+        List.iter (fun hook -> hook (fun () -> Flowcache.invalidate fc)) stage.Stage.hooks)
+      stages
+  | None -> ());
   let fcs =
     Option.map
       (fun fc ->
@@ -163,11 +236,17 @@ let create ~engine ~mode ?flowcache stages =
     stage_engine;
     mode;
     prepared;
-    n_stages = List.length stages;
-    skipped = Array.make (List.length stages) false;
+    groups;
+    group_of_stage;
+    n_stages;
+    skipped = Array.make n_stages false;
     tele = make_tele engine stages;
     fcs;
     scratch = [||];
+    drop_scratch = [||];
+    m_in = Array.make max_group (-1);
+    m_out = Array.make max_group 0;
+    m_cur = -1;
     batches_ok = 0;
     batches_failed = 0;
     batches_degraded = 0;
@@ -182,6 +261,12 @@ let mode_name t =
   | Isolated _ -> "isolated"
   | Copying -> "copying"
   | Tagged -> "tagged"
+
+let fused_groups t =
+  Array.to_list
+    (Array.map
+       (fun g -> Array.to_list (Array.map (fun (s : Stage.t) -> s.Stage.name) g.g_stages))
+       t.groups)
 
 (* Deep-copy every packet of the batch into fresh buffers (the next
    domain's private heap) and release the originals. The copies are
@@ -199,7 +284,7 @@ let copy_batch engine batch =
     else begin
       let j = Batch.length fresh - 1 in
       let dst = Batch.get fresh j in
-      Bytes.blit src.Packet.buf 0 dst.Packet.buf 0 src.Packet.len;
+      Slab.blit src.Packet.buf 0 dst.Packet.buf 0 src.Packet.len;
       dst.Packet.len <- src.Packet.len;
       Engine.touch_packet engine src ~off:0 ~bytes:src.Packet.len;
       Engine.touch_packet_write engine dst ~off:0 ~bytes:src.Packet.len;
@@ -221,29 +306,64 @@ let record_stage t i ~in_len ~out_len =
     Telemetry.Counter.add st.st_processed out_len;
     if in_len > out_len then Telemetry.Counter.add st.st_drops (in_len - out_len)
 
-(* The per-batch inner loop is a plain [for] over the stage array —
-   no [Array.iteri] closure, no per-batch environment capture. *)
-let exec_calls t stages batch =
+(* One kernel pass over the batch. Passes are stage-major — each
+   member kernel traverses the whole batch before the next starts —
+   because the cache simulator is stateful: interleaving members
+   packet-major would change the line-touch order and with it every
+   cycle total. Filter drops are released after the pass in encounter
+   order (the pool free list is LIFO; order is observable through
+   later allocation addresses), through a reusable scratch array so
+   the pass allocates nothing. *)
+let run_member t (stage : Stage.t) engine batch =
+  match stage.Stage.kernel with
+  | Stage.Opaque f -> f engine batch
+  | Stage.Rewrite f ->
+    for i = 0 to Batch.length batch - 1 do
+      f engine batch i (Batch.get batch i)
+    done;
+    batch
+  | Stage.Filter f ->
+    let n = Batch.length batch in
+    if Array.length t.drop_scratch < n then
+      t.drop_scratch <- Array.make (max n (2 * Array.length t.drop_scratch)) null_packet;
+    let dropped = t.drop_scratch in
+    let d = Batch.sieve batch (fun i p -> f engine batch i p) ~dropped in
+    let pool = Engine.pool engine in
+    for k = 0 to d - 1 do
+      Mempool.free pool dropped.(k)
+    done;
+    batch
+
+(* The per-batch inner loop over fused groups. In the calls modes a
+   group boundary costs nothing extra, so the charge sequence (one
+   [Call] per live member, then its pass) is identical to the unfused
+   per-stage loop — fusion here buys the kernel-level passes (no
+   closure dispatch, no per-pass drop list). *)
+let exec_calls t groups batch =
   let clock = Engine.clock t.engine in
   let current = ref batch in
-  for i = 0 to Array.length stages - 1 do
-    if not t.skipped.(i) then begin
-      (* Measured before [copy_batch]: a pool-pressure drop during
-         the copy is charged to the stage about to run. *)
-      let in_len = Batch.length !current in
-      (match t.mode with
-      | Copying -> current := copy_batch t.stage_engine !current
-      | Direct | Tagged | Isolated _ -> ());
-      Cycles.Clock.charge clock Call;
-      current := stages.(i).Stage.process t.stage_engine !current;
-      record_stage t i ~in_len ~out_len:(Batch.length !current)
-    end
+  for g = 0 to Array.length groups - 1 do
+    let grp = groups.(g) in
+    for k = 0 to Array.length grp.g_stages - 1 do
+      let i = grp.g_base + k in
+      if not t.skipped.(i) then begin
+        (* Measured before [copy_batch]: a pool-pressure drop during
+           the copy is charged to the stage about to run. *)
+        let in_len = Batch.length !current in
+        (match t.mode with
+        | Copying -> current := copy_batch t.stage_engine !current
+        | Direct | Tagged | Isolated _ -> ());
+        Cycles.Clock.charge clock Call;
+        current := run_member t grp.g_stages.(k) t.stage_engine !current;
+        record_stage t i ~in_len ~out_len:(Batch.length !current)
+      end
+    done
   done;
   Ok !current
 
 (* Snapshot the batch's packets into the pipeline's reusable scratch
    array (grown to the high-water mark once, then allocation-free)
-   instead of materialising a list per stage entry. *)
+   instead of materialising a list per crossing. *)
 let snapshot_in_flight t batch =
   let n = Batch.length batch in
   if Array.length t.scratch < n then
@@ -253,48 +373,102 @@ let snapshot_in_flight t batch =
   done;
   n
 
+let group_all_skipped t (grp : group) =
+  let all = ref true in
+  for k = 0 to Array.length grp.g_stages - 1 do
+    if not t.skipped.(grp.g_base + k) then all := false
+  done;
+  !all
+
+let first_live_member t (grp : group) =
+  let rec go k =
+    if k >= Array.length grp.g_stages then 0
+    else if not t.skipped.(grp.g_base + k) then k
+    else go (k + 1)
+  in
+  go 0
+
+(* Isolated mode crosses the protection boundary once per fused
+   group: one snapshot, one ownership transfer, one rref invocation —
+   the members run back-to-back inside the domain. Per-member batch
+   lengths are staged in [m_in]/[m_out] during the crossing and only
+   recorded to telemetry after the invocation returns, so a mid-group
+   panic cannot leave half-recorded counters; the member that was
+   executing ([m_cur]) is the one charged with the failure. *)
 let exec_isolated t cells batch =
   let pool = Engine.pool t.engine in
-  let rec go i batch =
-    if i = Array.length cells then Ok batch
-    else if t.skipped.(i) then go (i + 1) batch
+  let rec go c batch =
+    if c = Array.length cells then Ok batch
     else begin
-      let cell = cells.(i) in
-      (* Snapshot buffers so they can be reclaimed if the stage panics
-         while owning the batch; the allocation watermark additionally
-         catches buffers the stage allocates itself before panicking. *)
-      let in_len = snapshot_in_flight t batch in
-      let watermark = Mempool.mark pool in
-      let owned = Linear.Own.create ~label:"batch" batch in
-      match
-        Sfi.Rref.invoke_move cell.rref owned (fun stage b ->
-            stage.Stage.process t.stage_engine b)
-      with
-      | Ok batch' ->
-        record_stage t i ~in_len ~out_len:(Batch.length batch');
-        go (i + 1) batch'
-      | Error e ->
-        t.last_error <- Some i;
-        record_stage t i ~in_len ~out_len:0;
-        (* The failed domain's resources (here: the in-flight packet
-           buffers) are reclaimed by the management plane. Only buffers
-           the stage still held are reclaimed — it may already have
-           released some before panicking — plus whatever it allocated
-           after entry (the watermark sweep), which would otherwise
-           leak. *)
-        for k = 0 to in_len - 1 do
-          let p = t.scratch.(k) in
-          if Mempool.is_allocated pool p then Mempool.free pool p
+      let cell = cells.(c) in
+      let grp = cell.ic_group in
+      if group_all_skipped t grp then go (c + 1) batch
+      else begin
+        let n_members = Array.length grp.g_stages in
+        for k = 0 to n_members - 1 do
+          t.m_in.(k) <- -1
         done;
-        ignore (Mempool.reclaim_since pool watermark);
-        Error e
+        t.m_cur <- -1;
+        (* Snapshot buffers so they can be reclaimed if a member panics
+           while the group owns the batch; the allocation watermark
+           additionally catches buffers the group allocates itself
+           before panicking. *)
+        let in_len = snapshot_in_flight t batch in
+        let watermark = Mempool.mark pool in
+        let owned = Linear.Own.create ~label:"batch" batch in
+        match
+          Sfi.Rref.invoke_move cell.rref owned (fun stages b ->
+              let cur = ref b in
+              for k = 0 to Array.length stages - 1 do
+                if not t.skipped.(grp.g_base + k) then begin
+                  t.m_cur <- k;
+                  t.m_in.(k) <- Batch.length !cur;
+                  cur := run_member t stages.(k) t.stage_engine !cur;
+                  t.m_out.(k) <- Batch.length !cur
+                end
+              done;
+              !cur)
+        with
+        | Ok batch' ->
+          for k = 0 to n_members - 1 do
+            if t.m_in.(k) >= 0 then
+              record_stage t (grp.g_base + k) ~in_len:t.m_in.(k) ~out_len:t.m_out.(k)
+          done;
+          go (c + 1) batch'
+        | Error e ->
+          (* Members that completed before the failure keep their
+             records; the failing member (or, for a crossing refused
+             before entry — e.g. a revoked proxy — the first live
+             member) is charged with losing the whole in-flight
+             batch. *)
+          for k = 0 to n_members - 1 do
+            if t.m_in.(k) >= 0 && k <> t.m_cur then
+              record_stage t (grp.g_base + k) ~in_len:t.m_in.(k) ~out_len:t.m_out.(k)
+          done;
+          let fail_k = if t.m_cur >= 0 then t.m_cur else first_live_member t grp in
+          let fail_in = if t.m_cur >= 0 then t.m_in.(t.m_cur) else in_len in
+          t.last_error <- Some (grp.g_base + fail_k);
+          record_stage t (grp.g_base + fail_k) ~in_len:fail_in ~out_len:0;
+          (* The failed domain's resources (here: the in-flight packet
+             buffers) are reclaimed by the management plane. Only buffers
+             the group still held are reclaimed — it may already have
+             released some before panicking — plus whatever it allocated
+             after entry (the watermark sweep), which would otherwise
+             leak. *)
+          for k = 0 to in_len - 1 do
+            let p = t.scratch.(k) in
+            if Mempool.is_allocated pool p then Mempool.free pool p
+          done;
+          ignore (Mempool.reclaim_since pool watermark);
+          Error e
+      end
     end
   in
   go 0 batch
 
 let exec t batch =
   match t.prepared with
-  | P_calls stages -> exec_calls t stages batch
+  | P_calls groups -> exec_calls t groups batch
   | P_isolated (_, cells) -> exec_isolated t cells batch
 
 let flowcache t = Option.map (fun s -> s.fc) t.fcs
@@ -377,7 +551,7 @@ let run_cached t s batch =
             path (never happens for header-only chains). *)
          if g + delta >= 0 && g + delta <= p.Packet.len then
            Flowcache.install_serve s.fc ~key:s.fs_keys.(j) ~guard:s.fs_guards.(j)
-             ~out_prefix:(Bytes.sub_string p.Packet.buf 0 (g + delta))
+             ~out_prefix:(Slab.sub_string p.Packet.buf 0 (g + delta))
              ~delta
        end
        else Flowcache.install_drop s.fc ~key:s.fs_keys.(j) ~guard:s.fs_guards.(j));
@@ -446,47 +620,48 @@ let run t batch =
     t.batches_failed <- t.batches_failed + 1);
   result
 
-let recover_stage t i =
-  match t.prepared with
-  | P_calls _ -> invalid_arg "Pipeline.recover_stage: pipeline is not isolated"
-  | P_isolated (mgr, cells) ->
-    if i < 0 || i >= Array.length cells then invalid_arg "Pipeline.recover_stage: bad index";
-    (* A restarted stage may come back with rebuilt state; memoised
-       verdicts from its previous incarnation must not survive it. *)
-    invalidate_cache t;
-    Sfi.Manager.recover mgr cells.(i).domain
-
-let failed_stage t =
-  match t.prepared with
-  | P_calls _ -> None
-  | P_isolated (_, cells) ->
-    let rec scan i =
-      if i = Array.length cells then None
-      else
-        match Sfi.Pdomain.state cells.(i).domain with
-        | Sfi.Pdomain.Failed _ -> Some i
-        | Sfi.Pdomain.Running | Sfi.Pdomain.Destroyed -> scan (i + 1)
-    in
-    scan 0
-
 let isolated_cells op t =
   match t.prepared with
   | P_calls _ -> invalid_arg (Printf.sprintf "Pipeline.%s: pipeline is not isolated" op)
   | P_isolated (_, cells) -> cells
 
-let stage_domain t i =
-  let cells = isolated_cells "stage_domain" t in
-  if i < 0 || i >= Array.length cells then invalid_arg "Pipeline.stage_domain: bad index";
-  cells.(i).domain
+let cell_of_stage op t i =
+  let cells = isolated_cells op t in
+  if i < 0 || i >= t.n_stages then invalid_arg (Printf.sprintf "Pipeline.%s: bad index" op);
+  cells.(t.group_of_stage.(i))
+
+let recover_stage t i =
+  match t.prepared with
+  | P_calls _ -> invalid_arg "Pipeline.recover_stage: pipeline is not isolated"
+  | P_isolated (mgr, _) ->
+    let cell = cell_of_stage "recover_stage" t i in
+    (* A restarted stage may come back with rebuilt state; memoised
+       verdicts from its previous incarnation must not survive it. *)
+    invalidate_cache t;
+    Sfi.Manager.recover mgr cell.domain
+
+let failed_stage t =
+  match t.prepared with
+  | P_calls _ -> None
+  | P_isolated (_, cells) ->
+    let rec scan c =
+      if c = Array.length cells then None
+      else
+        match Sfi.Pdomain.state cells.(c).domain with
+        | Sfi.Pdomain.Failed _ -> Some cells.(c).ic_group.g_base
+        | Sfi.Pdomain.Running | Sfi.Pdomain.Destroyed -> scan (c + 1)
+    in
+    scan 0
+
+let stage_domain t i = (cell_of_stage "stage_domain" t i).domain
 
 let revoke_stage t i =
-  let cells = isolated_cells "revoke_stage" t in
-  if i < 0 || i >= Array.length cells then invalid_arg "Pipeline.revoke_stage: bad index";
+  let cell = cell_of_stage "revoke_stage" t i in
   (* Without this, a batch of pure cache hits would never invoke the
      revoked stage and so never observe the revocation — the cached
      engine would keep serving while the uncached one fails. *)
   invalidate_cache t;
-  Sfi.Rref.revoke cells.(i).rref
+  Sfi.Rref.revoke cell.rref
 
 let set_stage_skipped t i v =
   if i < 0 || i >= t.n_stages then invalid_arg "Pipeline.set_stage_skipped: bad index";

@@ -25,7 +25,27 @@
     [Error (Domain_failed _)], the in-flight batch's buffers are
     reclaimed, and {!recover_stage} restores service. In the other
     modes a panic is fatal to the whole pipeline (which is precisely
-    the paper's point) — it propagates as an exception. *)
+    the paper's point) — it propagates as an exception.
+
+    {2 Kernel fusion}
+
+    At creation the pipeline compiles maximal runs of adjacent fusible
+    kernels ({!Stage.Rewrite}/{!Stage.Filter}) into fused groups;
+    {!Stage.Opaque} stages are fusion barriers and form singleton
+    groups. Execution inside a group stays {e stage-major} (each member
+    kernel traverses the whole batch before the next starts) so the
+    stateful cache simulator observes the exact same line-touch order
+    as the unfused chain — in the calls modes the fused pipeline is
+    cycle-identical to the per-stage one. Under [Isolated] mode a fused
+    group costs {e one} protection-domain crossing (one snapshot, one
+    ownership transfer, one rref invocation) where the unfused chain
+    paid one per stage; the group's members then share a fault domain:
+    {!stage_domain}/{!revoke_stage}/{!recover_stage} on any member
+    index resolve to the containing group's domain, and
+    {!stage_reports} reports per domain (one entry per group). Per-stage
+    skip flags ({!set_stage_skipped}) and per-stage telemetry are
+    preserved member-by-member. [Copying] mode never fuses: the
+    per-boundary deep copy is exactly what that mode measures. *)
 
 type mode =
   | Direct
@@ -35,8 +55,16 @@ type mode =
 
 type t
 
-val create : engine:Engine.t -> mode:mode -> ?flowcache:Flowcache.t -> Stage.t list -> t
+val create :
+  engine:Engine.t -> mode:mode -> ?fuse:bool -> ?flowcache:Flowcache.t -> Stage.t list -> t
 (** Raises [Invalid_argument] on an empty stage list.
+
+    [fuse] (default [true]) enables the kernel-fusion pass; pass
+    [~fuse:false] to force one group — and, under [Isolated], one
+    protection domain and one crossing — per stage. Per-boundary cost
+    experiments (E1/E2/E10) and the E18 ablation use this; Copying mode
+    never fuses regardless (the per-boundary copy is the quantity that
+    mode exists to measure).
 
     [flowcache] arms the megaflow fast path: {!run} first replays every
     packet with a valid cache entry (serving or dropping it without
@@ -46,9 +74,13 @@ val create : engine:Engine.t -> mode:mode -> ?flowcache:Flowcache.t -> Stage.t l
     the cache's lifecycle invalidations — {!revoke_stage},
     {!recover_stage}, a {!set_stage_skipped} transition and a failed
     {!run} all invalidate, so a revoked/restarted/degraded chain never
-    serves stale verdicts; chain-{e state} owners (rule DBs, NAT and
-    backend tables) must additionally register
-    {!Flowcache.invalidate} on their own mutation hooks. Raises
+    serves stale verdicts. Chain-{e state} staleness is wired by
+    construction: the cache's invalidation is subscribed through every
+    hook the stage descriptors declare ({!Stage.hooks}), so a stage
+    built over a rule DB, NAT or backend table only has to declare the
+    owner's mutation hook — a descriptor that omits its hooks is the
+    staleness bug the equivalence suite's negative controls catch.
+    Raises
     [Invalid_argument] in [Copying] mode, whose per-boundary buffer
     re-homing the slot-matched install path cannot support. *)
 
@@ -56,6 +88,11 @@ val flowcache : t -> Flowcache.t option
 
 val length : t -> int
 val mode_name : t -> string
+
+val fused_groups : t -> string list list
+(** The compiled fusion plan: stage names grouped as executed, in
+    pipeline order (singleton lists for opaque stages and in [Copying]
+    mode, which never fuses). *)
 
 val run : t -> Batch.t -> (Batch.t, Sfi.Sfi_error.t) result
 (** The single entry point: push one batch through all stages, with
@@ -68,12 +105,14 @@ val run : t -> Batch.t -> (Batch.t, Sfi.Sfi_error.t) result
     resources). *)
 
 val recover_stage : t -> int -> (unit, string) result
-(** [Isolated] only: recover the i-th stage's domain and re-publish its
-    proxy, making the failure transparent to subsequent batches.
-    Raises [Invalid_argument] in other modes. *)
+(** [Isolated] only: recover the domain backing stage [i] (the
+    containing fused group's domain) and re-publish its proxy, making
+    the failure transparent to subsequent batches. Raises
+    [Invalid_argument] in other modes. *)
 
 val failed_stage : t -> int option
-(** Index of the first stage whose domain is failed, if any. *)
+(** Index of the first stage whose domain is failed, if any (for a
+    fused group: the group's first member). *)
 
 val last_error_stage : t -> int option
 (** The stage whose invocation failed during the most recent {!run}
@@ -82,15 +121,16 @@ val last_error_stage : t -> int option
     revoked mid-batch — which a supervisor must still react to. *)
 
 val stage_domain : t -> int -> Sfi.Pdomain.t
-(** [Isolated] only: the protection domain backing stage [i] — what a
+(** [Isolated] only: the protection domain backing stage [i] — the
+    containing fused group's domain, shared by all its members — what a
     supervisor matches manager lifecycle events against. Raises
     [Invalid_argument] in other modes or on a bad index. *)
 
 val revoke_stage : t -> int -> bool
-(** [Isolated] only: revoke the i-th stage's proxy in place (a
-    fault-injection hook — the next batch through fails with
-    [Revoked] while the domain itself stays [Running]). The proxy is
-    re-published by {!recover_stage}. *)
+(** [Isolated] only: revoke the proxy of the group containing stage
+    [i], in place (a fault-injection hook — the next batch through
+    fails with [Revoked] while the domain itself stays [Running]). The
+    proxy is re-published by {!recover_stage}. *)
 
 val set_stage_skipped : t -> int -> bool -> unit
 (** Graceful degradation: a skipped stage is routed around — batches
@@ -117,5 +157,8 @@ type stage_report = {
 }
 
 val stage_reports : t -> stage_report list
-(** [Isolated] only: per-stage CPU and fault accounting, in pipeline
-    order. Raises [Invalid_argument] for other modes. *)
+(** [Isolated] only: per-domain CPU and fault accounting, in pipeline
+    order — one entry per fused group (the domain is the unit of
+    isolation, so it is also the unit of accounting); its name joins
+    the member stage names with ["+"]. Raises [Invalid_argument] for
+    other modes. *)

@@ -26,7 +26,7 @@ let table_capacity = 4096
 
 type t = {
   clock : Cycles.Clock.t;
-  table_addr : int64;
+  table_addr : int;
   mutable rules : rule array;
   mutable count : int;
   mutable default : action;
@@ -111,7 +111,7 @@ let classify t flow =
     else begin
       if i land 3 = 0 then
         Cycles.Clock.touch t.clock
-          (Int64.add t.table_addr (Int64.of_int (i * rule_bytes)))
+          (t.table_addr + (i * rule_bytes))
           ~bytes:rule_bytes;
       Cycles.Clock.charge t.clock (Alu 3);
       if rule_matches t.rules.(i) flow then begin
@@ -124,14 +124,11 @@ let classify t flow =
   scan 0
 
 let stage t =
-  Stage.make ~name:"ruledb" (fun engine batch ->
-      let dropped =
-        Batch.filteri_in_place batch (fun i p ->
-            Engine.touch_packet engine p ~off:Packet.eth_header_bytes
-              ~bytes:(Packet.ipv4_header_bytes + 4);
-            match classify t (Batch.flow batch i) with
-            | Accept -> true
-            | Drop -> false)
-      in
-      List.iter (fun p -> Mempool.free (Engine.pool engine) p) dropped;
-      batch)
+  Stage.filter ~name:"ruledb"
+    ~hooks:[ on_mutate t ]
+    (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:(Packet.ipv4_header_bytes + 4);
+      match classify t (Batch.flow batch i) with
+      | Accept -> true
+      | Drop -> false)

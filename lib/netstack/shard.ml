@@ -140,11 +140,14 @@ let shard_of_queue spec q = q mod spec.shards
 (* Wrap each stage with its injection points: an armed trigger panics
    before the stage body runs (while the stage owns the batch), and an
    armed control-channel send overflows from inside stage 0 — so the
-   panic is attributed at the SFI boundary like any organic fault. *)
+   panic is attributed at the SFI boundary like any organic fault.
+   The wrappers are opaque kernels on purpose: a storm run needs one
+   fault domain per stage, so the wrapped chain must not fuse. The
+   stage's declared invalidation hooks survive the wrapping. *)
 let wrap_stages ~triggers ~chan_arm ~chan_cell stages =
   List.mapi
     (fun i (stage : Stage.t) ->
-      Stage.make ~name:stage.Stage.name (fun eng b ->
+      Stage.opaque ~name:stage.Stage.name ~hooks:stage.Stage.hooks (fun eng b ->
           if triggers.(i) then begin
             triggers.(i) <- false;
             Sfi.Panic.panicf "faultinj: injected panic in %s" stage.Stage.name
@@ -156,7 +159,7 @@ let wrap_stages ~triggers ~chan_arm ~chan_cell stages =
                ignore (Sfi.Channel.send_exn ch (Linear.Own.create ~label:"faultinj.ctl" ()))
              | None -> ()
            end);
-          stage.Stage.process eng b))
+          Stage.process stage eng b))
     stages
 
 let make_faulty spec ~registry ~clock ~mgr ~pipe ~stages ~triggers ~rec_arm ~chan_arm

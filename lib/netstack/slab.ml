@@ -1,0 +1,148 @@
+(* Packet payload storage.
+
+   The default backing is one off-heap [Bigarray] slab per pool: the
+   GC never scans payload memory, and a packet buffer is a fixed
+   slot-sized view into the slab, created once at pool construction.
+   The [Bytes] backing survives for the E18 ablation (and for tests
+   that want a free-standing buffer); every accessor is a two-way
+   branch on the backing, so the two are behaviourally identical —
+   including the Invalid_argument on out-of-range access that the
+   panic-containment paths rely on. *)
+
+type big = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type backing = Heap_bytes | Off_heap
+
+type buf =
+  | Heap of Bytes.t
+  | Off of big
+
+let of_bytes b = Heap b
+
+(* One contiguous allocation per pool, sliced into slot views. Slicing
+   up front keeps the per-access bounds check local to the slot: a
+   stage that runs off the end of its packet faults at the slot
+   boundary, exactly as it would with a free-standing [Bytes.t]. *)
+let make_slots backing ~slots ~bytes =
+  match backing with
+  | Heap_bytes -> Array.init slots (fun _ -> Heap (Bytes.create bytes))
+  | Off_heap ->
+    let slab = Bigarray.Array1.create Bigarray.char Bigarray.c_layout (slots * bytes) in
+    Bigarray.Array1.fill slab '\000';
+    Array.init slots (fun i -> Off (Bigarray.Array1.sub slab (i * bytes) bytes))
+
+let length = function
+  | Heap b -> Bytes.length b
+  | Off a -> Bigarray.Array1.dim a
+
+let oob () = invalid_arg "Slab: index out of bounds"
+
+let[@inline] check buf off n =
+  if off < 0 || n < 0 || off + n > length buf then oob ()
+
+let[@inline] unsafe_get buf i =
+  match buf with
+  | Heap b -> Bytes.unsafe_get b i
+  | Off a -> Bigarray.Array1.unsafe_get a i
+
+let[@inline] unsafe_set buf i c =
+  match buf with
+  | Heap b -> Bytes.unsafe_set b i c
+  | Off a -> Bigarray.Array1.unsafe_set a i c
+
+(* Single branch on the backing, bounds check against that backing's
+   own length: one compare pair per access on the hot path. *)
+let get buf i =
+  match buf with
+  | Heap b -> if i < 0 || i >= Bytes.length b then oob () else Bytes.unsafe_get b i
+  | Off a -> if i < 0 || i >= Bigarray.Array1.dim a then oob () else Bigarray.Array1.unsafe_get a i
+
+let set buf i c =
+  match buf with
+  | Heap b -> if i < 0 || i >= Bytes.length b then oob () else Bytes.unsafe_set b i c
+  | Off a ->
+    if i < 0 || i >= Bigarray.Array1.dim a then oob () else Bigarray.Array1.unsafe_set a i c
+
+let[@inline] get_u8 buf i = Char.code (get buf i)
+let[@inline] set_u8 buf i v = set buf i (Char.unsafe_chr (v land 0xff))
+
+let get_u16_be buf i =
+  match buf with
+  | Heap b ->
+    if i < 0 || i + 2 > Bytes.length b then oob ()
+    else (Char.code (Bytes.unsafe_get b i) lsl 8) lor Char.code (Bytes.unsafe_get b (i + 1))
+  | Off a ->
+    if i < 0 || i + 2 > Bigarray.Array1.dim a then oob ()
+    else
+      (Char.code (Bigarray.Array1.unsafe_get a i) lsl 8)
+      lor Char.code (Bigarray.Array1.unsafe_get a (i + 1))
+
+let set_u16_be buf i v =
+  match buf with
+  | Heap b ->
+    if i < 0 || i + 2 > Bytes.length b then oob ()
+    else begin
+      Bytes.unsafe_set b i (Char.unsafe_chr ((v lsr 8) land 0xff));
+      Bytes.unsafe_set b (i + 1) (Char.unsafe_chr (v land 0xff))
+    end
+  | Off a ->
+    if i < 0 || i + 2 > Bigarray.Array1.dim a then oob ()
+    else begin
+      Bigarray.Array1.unsafe_set a i (Char.unsafe_chr ((v lsr 8) land 0xff));
+      Bigarray.Array1.unsafe_set a (i + 1) (Char.unsafe_chr (v land 0xff))
+    end
+
+(* Overlap-safe: [Bytes.blit] has memmove semantics, and the [Off]
+   arm copies backward when the destination window sits above the
+   source window of the same view. Distinct [Off] views never alias —
+   [make_slots] slices the slab into disjoint slots — so aliasing can
+   only mean [src == dst] (header shifts inside one packet), which the
+   physical-equality test catches. The [Array1.sub]+[Array1.blit]
+   route is reserved for large copies: each [sub] allocates a custom
+   block and bumps the slab proxy, which costs more than the loop for
+   packet-sized moves. *)
+let off_big_copy = 256
+
+let blit src soff dst doff n =
+  check src soff n;
+  check dst doff n;
+  match (src, dst) with
+  | Heap sb, Heap db -> Bytes.blit sb soff db doff n
+  | Off sa, Off da ->
+    if n >= off_big_copy then
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub sa soff n)
+        (Bigarray.Array1.sub da doff n)
+    else if sa == da && doff > soff then
+      for i = n - 1 downto 0 do
+        Bigarray.Array1.unsafe_set da (doff + i) (Bigarray.Array1.unsafe_get sa (soff + i))
+      done
+    else
+      for i = 0 to n - 1 do
+        Bigarray.Array1.unsafe_set da (doff + i) (Bigarray.Array1.unsafe_get sa (soff + i))
+      done
+  | Heap sb, Off da ->
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set da (doff + i) (Bytes.unsafe_get sb (soff + i))
+    done
+  | Off sa, Heap db ->
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set db (doff + i) (Bigarray.Array1.unsafe_get sa (soff + i))
+    done
+
+let blit_string s soff dst doff n =
+  if soff < 0 || n < 0 || soff + n > String.length s then
+    invalid_arg "Slab.blit_string: source out of bounds";
+  check dst doff n;
+  match dst with
+  | Heap db -> Bytes.blit_string s soff db doff n
+  | Off da ->
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set da (doff + i) (String.unsafe_get s (soff + i))
+    done
+
+let sub_string buf off n =
+  check buf off n;
+  match buf with
+  | Heap b -> Bytes.sub_string b off n
+  | Off a -> String.init n (fun i -> Bigarray.Array1.unsafe_get a (off + i))

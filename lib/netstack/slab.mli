@@ -1,0 +1,40 @@
+(** Packet buffer storage with a switchable backing.
+
+    The production backing is one off-heap {!Bigarray} slab per
+    {!Mempool}, sliced into fixed slot views — the GC never scans
+    payload memory. The [Bytes] backing remains for the fusion/slab
+    ablation (E18) and for free-standing buffers in tests; the two are
+    observationally identical, bounds behaviour included. *)
+
+type backing =
+  | Heap_bytes  (** GC-scanned [Bytes.t] per slot (the pre-slab world). *)
+  | Off_heap    (** One [Bigarray] slab per pool; slots are views. *)
+
+type buf
+(** One packet buffer: a slot view of the pool's slab, or a
+    free-standing [Bytes.t]. *)
+
+val of_bytes : Bytes.t -> buf
+(** Wrap a free-standing buffer (tests, scratch packets). *)
+
+val make_slots : backing -> slots:int -> bytes:int -> buf array
+(** [make_slots backing ~slots ~bytes] allocates the pool's storage and
+    returns the per-slot views. Off-heap slots are zero-filled. *)
+
+val length : buf -> int
+
+val get : buf -> int -> char
+val set : buf -> int -> char -> unit
+val unsafe_get : buf -> int -> char
+val unsafe_set : buf -> int -> char -> unit
+
+val get_u8 : buf -> int -> int
+val set_u8 : buf -> int -> int -> unit
+val get_u16_be : buf -> int -> int
+val set_u16_be : buf -> int -> int -> unit
+
+val blit : buf -> int -> buf -> int -> int -> unit
+(** Overlap-safe, memmove semantics (within one buffer too). *)
+
+val blit_string : string -> int -> buf -> int -> int -> unit
+val sub_string : buf -> int -> int -> string

@@ -1,6 +1,51 @@
+(* A stage is a kernel descriptor, not a batch closure: declaring the
+   kernel's *shape* (per-packet rewrite, per-packet filter, or an
+   opaque batch transformer) is what lets the pipeline fuse adjacent
+   pure kernels into one traversal and collapse protection-domain
+   crossings per fused group instead of per stage. *)
+
+type kernel =
+  | Rewrite of (Engine.t -> Batch.t -> int -> Packet.t -> unit)
+  | Filter of (Engine.t -> Batch.t -> int -> Packet.t -> bool)
+  | Opaque of (Engine.t -> Batch.t -> Batch.t)
+
+type hook = (unit -> unit) -> unit
+
 type t = {
   name : string;
-  process : Engine.t -> Batch.t -> Batch.t;
+  kernel : kernel;
+  hooks : hook list;
 }
 
-let make ~name process = { name; process }
+let rewrite ~name ?(hooks = []) f = { name; kernel = Rewrite f; hooks }
+let filter ~name ?(hooks = []) f = { name; kernel = Filter f; hooks }
+let opaque ~name ?(hooks = []) f = { name; kernel = Opaque f; hooks }
+
+(* Compatibility constructor: a pre-descriptor batch closure is an
+   opaque kernel (the pipeline cannot see through it, so it fuses with
+   nothing — exactly the old per-stage behaviour). *)
+let make ~name process = opaque ~name process
+
+let name t = t.name
+let kernel t = t.kernel
+let hooks t = t.hooks
+let with_hooks hooks t = { t with hooks }
+
+let fusible t = match t.kernel with Rewrite _ | Filter _ -> true | Opaque _ -> false
+
+(* Run one stage standalone, replicating the pre-fusion per-stage
+   semantics exactly: filter drops are released to the pool after the
+   pass, in encounter order (the mempool free list is LIFO, so the
+   order is observable through later allocation addresses). *)
+let process t engine batch =
+  match t.kernel with
+  | Opaque f -> f engine batch
+  | Rewrite f ->
+    for i = 0 to Batch.length batch - 1 do
+      f engine batch i (Batch.get batch i)
+    done;
+    batch
+  | Filter f ->
+    let dropped = Batch.filteri_in_place batch (fun i p -> f engine batch i p) in
+    List.iter (fun p -> Mempool.free (Engine.pool engine) p) dropped;
+    batch

@@ -1,13 +1,77 @@
-(** Pipeline stages: named batch transformers.
+(** Pipeline stages as kernel descriptors.
 
-    A stage is a pure description; the {!Pipeline} decides how calls to
-    it cross (or don't cross) protection boundaries. Stages receive the
-    {!Engine} so all their packet-memory traffic is accounted under the
-    pipeline's access mode. *)
+    A stage no longer carries an opaque batch closure; it {e declares}
+    its kernel shape, and the {!Pipeline} compiles with it:
+
+    - {!Rewrite} — a pure per-packet header rewrite: touches only the
+      packet (and the batch's flow sidecar) at its own index, never
+      drops, never reorders. Fusible.
+    - {!Filter} — a per-packet classify/drop decision with the same
+      locality contract; [false] drops the packet (the pipeline
+      releases its buffer). Fusible.
+    - {!Opaque} — an arbitrary batch transformer (stateful NFs,
+      fault injectors, anything that needs the whole batch). Never
+      fused; acts as a fusion barrier.
+
+    Runs of adjacent fusible kernels are compiled into a single fused
+    group: one traversal hand-off, and — under [Isolated] mode — one
+    protection-domain crossing per group instead of per stage.
+
+    [hooks] are the stage's invalidation points: each element is the
+    subscription registrar of a piece of mutable state the stage's
+    verdicts depend on (e.g. [Ruledb.on_mutate db],
+    [Maglev.on_change mg]). A pipeline built with a {!Flowcache}
+    subscribes the cache's invalidation through every declared hook, so
+    stage authors wire staleness by construction instead of by
+    call-site convention. *)
+
+type kernel =
+  | Rewrite of (Engine.t -> Batch.t -> int -> Packet.t -> unit)
+      (** [f engine batch i p]: rewrite packet [p] (= index [i]) in
+          place. Must call {!Batch.invalidate_flow} after mutating any
+          5-tuple field. *)
+  | Filter of (Engine.t -> Batch.t -> int -> Packet.t -> bool)
+      (** Like {!Rewrite}, but returning [false] drops the packet. The
+          index is the {e pre-compaction} index: sidecar operations
+          against [i] are valid inside the callback. *)
+  | Opaque of (Engine.t -> Batch.t -> Batch.t)
+      (** The whole batch, in and out — the pre-descriptor contract. *)
+
+type hook = (unit -> unit) -> unit
+(** A subscription registrar: [hook f] arranges for [f] to run on every
+    mutation of the state behind the hook. *)
 
 type t = {
   name : string;
-  process : Engine.t -> Batch.t -> Batch.t;
+  kernel : kernel;
+  hooks : hook list;
 }
 
+val rewrite :
+  name:string -> ?hooks:hook list -> (Engine.t -> Batch.t -> int -> Packet.t -> unit) -> t
+
+val filter :
+  name:string -> ?hooks:hook list -> (Engine.t -> Batch.t -> int -> Packet.t -> bool) -> t
+
+val opaque :
+  name:string -> ?hooks:hook list -> (Engine.t -> Batch.t -> Batch.t) -> t
+
 val make : name:string -> (Engine.t -> Batch.t -> Batch.t) -> t
+(** Compatibility constructor: equivalent to {!opaque} with no hooks.
+    Out-of-tree stages built with [make] keep compiling and behave
+    exactly as before (opaque kernels are never fused). *)
+
+val name : t -> string
+val kernel : t -> kernel
+val hooks : t -> hook list
+
+val with_hooks : hook list -> t -> t
+(** Replace the declared hooks (e.g. [with_hooks []] severs a stage
+    from cache invalidation — used by negative-control tests). *)
+
+val fusible : t -> bool
+
+val process : t -> Engine.t -> Batch.t -> Batch.t
+(** Run the stage standalone over one batch with exact pre-fusion
+    semantics: [Rewrite]/[Filter] kernels traverse once, filter drops
+    are released to the engine's pool in encounter order. *)

@@ -13,6 +13,13 @@ type plan = {
   pl_payload_bytes : int;
   pl_protocol : Flow.protocol;
   zipf_cdf : float array;  (* empty unless the pattern is Zipf *)
+  (* Lazily interned [synth_flow] results, one per population index:
+     the generator hands out a flow per packet, and [Flow.t] carries
+     boxed fields, so building a fresh record per arrival is the
+     dominant allocation of the rx path. Flows are immutable, so
+     sharing is sound; replicas sharing a plan share the cache (the
+     benign race re-installs an equal record). *)
+  interned : Flow.t option array;
 }
 
 type t = {
@@ -53,7 +60,16 @@ let plan ?(payload_bytes = 18) ?(protocol = Flow.Udp) pattern =
     | Zipf { flows; exponent } -> build_zipf_cdf flows exponent
     | Single_flow _ | Uniform _ -> [||]
   in
-  { pattern; pl_payload_bytes = payload_bytes; pl_protocol = protocol; zipf_cdf }
+  let population =
+    match pattern with Single_flow _ -> 0 | Uniform { flows } | Zipf { flows; _ } -> flows
+  in
+  {
+    pattern;
+    pl_payload_bytes = payload_bytes;
+    pl_protocol = protocol;
+    zipf_cdf;
+    interned = Array.make population None;
+  }
 
 let of_plan ~rng plan = { rng; plan }
 
@@ -93,11 +109,19 @@ let expected_share p i =
     if i < 0 || i >= flows then invalid_arg "Traffic.expected_share: out of range";
     if i = 0 then p.zipf_cdf.(0) else p.zipf_cdf.(i) -. p.zipf_cdf.(i - 1)
 
+let interned_flow p i =
+  match Array.unsafe_get p.interned i with
+  | Some flow -> flow
+  | None ->
+    let flow = synth_flow p.pl_protocol i in
+    p.interned.(i) <- Some flow;
+    flow
+
 let next_flow t =
   let p = t.plan in
   match p.pattern with
   | Single_flow flow -> flow
-  | Uniform { flows } -> synth_flow p.pl_protocol (Cycles.Rng.int t.rng flows)
+  | Uniform { flows } -> interned_flow p (Cycles.Rng.int t.rng flows)
   | Zipf _ ->
     let u = Cycles.Rng.float t.rng 1.0 in
     (* Binary search for the first CDF entry >= u. *)
@@ -106,4 +130,4 @@ let next_flow t =
       let mid = (!lo + !hi) / 2 in
       if p.zipf_cdf.(mid) >= u then hi := mid else lo := mid + 1
     done;
-    synth_flow p.pl_protocol !lo
+    interned_flow p !lo

@@ -15,7 +15,7 @@ type 'a t = {
   receiver : Domain_id.t;
   capacity : int;
   queue : 'a Queue.t;
-  ring_addr : int64;
+  ring_addr : int;
   label : string;
   mutable closed : bool;
   mutable sent : int;
@@ -51,7 +51,7 @@ let endpoint_check expected =
 
 let charge_slot t index =
   Cycles.Clock.charge t.clock (Alu 3);
-  Cycles.Clock.touch t.clock (Int64.add t.ring_addr (Int64.of_int (index mod t.capacity * 16))) ~bytes:16
+  Cycles.Clock.touch t.clock (t.ring_addr + (index mod t.capacity * 16)) ~bytes:16
 
 let send t own =
   (* Ownership transfers before any outcome is known. *)

@@ -1,5 +1,5 @@
 type allocation = {
-  addr : int64;
+  addr : int;
   bytes : int;
   mutable owner : Domain_id.t;
   mutable freed : bool;
@@ -8,7 +8,7 @@ type allocation = {
 type t = {
   clock : Cycles.Clock.t;
   (* Live allocations, keyed by base address. *)
-  live : (int64, allocation) Hashtbl.t;
+  live : (int, allocation) Hashtbl.t;
 }
 
 let create ~clock = { clock; live = Hashtbl.create 256 }

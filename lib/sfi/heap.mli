@@ -18,7 +18,7 @@ type t
 (** The heap. One per experiment / manager. *)
 
 type allocation = {
-  addr : int64;              (** Base synthetic address. *)
+  addr : int;                (** Base synthetic address. *)
   bytes : int;
   mutable owner : Domain_id.t;
   mutable freed : bool;

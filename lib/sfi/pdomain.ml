@@ -18,7 +18,7 @@ type t = {
   clock : Cycles.Clock.t;
   heap : Heap.t;
   table : Ref_table.t;
-  state_addr : int64;
+  state_addr : int;
   mutable state : state;
   mutable policy : Policy.t;
   mutable recovery : (t -> unit) option;

@@ -54,7 +54,7 @@ val heap : t -> Heap.t
 val recovery : t -> (t -> unit) option
 val set_recovery : t -> (t -> unit) option -> unit
 
-val state_addr : t -> int64
+val state_addr : t -> int
 (** Synthetic address of the domain descriptor; invokers touch it for
     the availability check. *)
 

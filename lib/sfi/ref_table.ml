@@ -5,7 +5,7 @@ type slot_id = int
 type t = {
   clock : Cycles.Clock.t;
   owner : Domain_id.t;
-  slots : (slot_id, entry * int64) Hashtbl.t;
+  slots : (slot_id, entry * int) Hashtbl.t;
   mutable next_slot : slot_id;
   mutable generation : int;
   mutable epoch : int;

@@ -20,7 +20,7 @@ val create : clock:Cycles.Clock.t -> owner:Domain_id.t -> t
 
 val owner : t -> Domain_id.t
 
-val register : t -> ?label:string -> 'a -> slot_id * 'a Linear.Rc.weak * int64
+val register : t -> ?label:string -> 'a -> slot_id * 'a Linear.Rc.weak * int
 (** Park a strong reference to the object in the table. Returns the
     slot id, the weak pointer to hand to the rref, and the slot's
     synthetic address (for cache modelling by the invoker). *)

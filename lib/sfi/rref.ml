@@ -16,7 +16,7 @@ type fast = {
 type 'a t = {
   weak : 'a Linear.Rc.weak;
   slot : Ref_table.slot_id;
-  slot_addr : int64;
+  slot_addr : int;
   target : Pdomain.t;
   mutable fast : fast option;
 }

@@ -50,6 +50,74 @@ let test_rng_shuffle_permutes () =
   Alcotest.(check bool) "same multiset" true (sorted = original);
   Alcotest.(check bool) "actually shuffled" false (a = original)
 
+(* The limb-wise generator's pin: rng.ml runs SplitMix64 on unboxed
+   32-bit halves, and every entry point must stay bit-identical to the
+   textbook Int64 implementation below. The production code's Rng
+   seeds every traffic trace and fault-injection schedule, so any
+   drift here invalidates every golden file at once. *)
+module Ref_rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t bound =
+    let r = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+    r mod bound
+
+  let float t bound =
+    let top53 = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+    float_of_int top53 /. 9007199254740992.0 *. bound
+
+  let bool t = Int64.equal (Int64.logand (next t) 1L) 1L
+end
+
+let ref_seeds = [ 0L; 1L; 42L; 2017L; -1L; Int64.max_int; Int64.min_int; 0xDEADBEEFCAFEL ]
+
+let test_rng_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let a = Rng.create seed and r = Ref_rng.create seed in
+      for i = 1 to 2_000 do
+        let x = Rng.next_int64 a and y = Ref_rng.next r in
+        if not (Int64.equal x y) then
+          Alcotest.failf "seed %Ld draw %d: limb %Lx vs reference %Lx" seed i x y
+      done)
+    ref_seeds
+
+let test_rng_entry_points_match_reference () =
+  List.iter
+    (fun seed ->
+      let a = Rng.create seed and r = Ref_rng.create seed in
+      for i = 1 to 2_000 do
+        (* Rotate through the derived entry points so state stays in
+           lockstep across a mixed call pattern. *)
+        match i land 3 with
+        | 0 ->
+          Alcotest.(check int64)
+            (Printf.sprintf "next_int64 seed=%Ld" seed)
+            (Ref_rng.next r) (Rng.next_int64 a)
+        | 1 ->
+          Alcotest.(check int)
+            (Printf.sprintf "int seed=%Ld" seed)
+            (Ref_rng.int r 1_000_003) (Rng.int a 1_000_003)
+        | 2 ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "float seed=%Ld" seed)
+            (Ref_rng.float r 3.5) (Rng.float a 3.5)
+        | _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bool seed=%Ld" seed)
+            (Ref_rng.bool r) (Rng.bool a)
+      done)
+    ref_seeds
+
 let test_rng_bool_balanced () =
   let rng = Rng.create 13L in
   let trues = ref 0 in
@@ -126,22 +194,22 @@ let prop_stats_percentile_bounds =
 
 let test_cache_cold_then_hot () =
   let c = Cache.create () in
-  Alcotest.(check string) "cold miss" "DRAM" (Cache.level_to_string (Cache.access c 0x10000L));
-  Alcotest.(check string) "now hot" "L1" (Cache.level_to_string (Cache.access c 0x10000L));
+  Alcotest.(check string) "cold miss" "DRAM" (Cache.level_to_string (Cache.access c 0x10000));
+  Alcotest.(check string) "now hot" "L1" (Cache.level_to_string (Cache.access c 0x10000));
   (* Same line, different byte. *)
-  Alcotest.(check string) "same line hot" "L1" (Cache.level_to_string (Cache.access c 0x10030L))
+  Alcotest.(check string) "same line hot" "L1" (Cache.level_to_string (Cache.access c 0x10030))
 
 let test_cache_l1_eviction_falls_to_l2 () =
   let c = Cache.create () in
   let cfg = Cache.default_config in
-  let line = Int64.of_int cfg.line_bytes in
+  let line = cfg.line_bytes in
   (* Touch one target line, then blow L1 (same set) with conflicting lines. *)
-  let target = 0x100000L in
+  let target = 0x100000 in
   ignore (Cache.access c target);
   (* Lines mapping to the same L1 set are spaced by sets*line bytes. *)
-  let stride = Int64.mul (Int64.of_int cfg.l1_sets) line in
+  let stride = cfg.l1_sets * line in
   for i = 1 to cfg.l1_ways + 2 do
-    ignore (Cache.access c (Int64.add target (Int64.mul stride (Int64.of_int i))))
+    ignore (Cache.access c (target + (stride * i)))
   done;
   (* The target was evicted from L1 but (with many more L2 sets) still
      lives in L2. *)
@@ -149,15 +217,15 @@ let test_cache_l1_eviction_falls_to_l2 () =
 
 let test_cache_flush () =
   let c = Cache.create () in
-  ignore (Cache.access c 0x42000L);
+  ignore (Cache.access c 0x42000);
   Cache.flush c;
-  Alcotest.(check string) "flushed" "DRAM" (Cache.level_to_string (Cache.access c 0x42000L))
+  Alcotest.(check string) "flushed" "DRAM" (Cache.level_to_string (Cache.access c 0x42000))
 
 let test_cache_counters () =
   let c = Cache.create () in
-  ignore (Cache.access c 0x1000L);
-  ignore (Cache.access c 0x1000L);
-  ignore (Cache.access c 0x2000L);
+  ignore (Cache.access c 0x1000);
+  ignore (Cache.access c 0x1000);
+  ignore (Cache.access c 0x2000);
   let k = Cache.counters c in
   Alcotest.(check int) "dram" 2 k.dram_accesses;
   Alcotest.(check int) "l1" 1 k.l1_hits;
@@ -168,31 +236,31 @@ let test_cache_counters () =
 let test_cache_access_range_lines () =
   let c = Cache.create () in
   (* 200 bytes starting mid-line spans 4 lines of 64B. *)
-  let levels = Cache.access_range c 0x1020L 200 in
+  let levels = Cache.access_range c 0x1020 200 in
   Alcotest.(check int) "line count" 4 (List.length levels);
   (* Zero / negative byte counts touch nothing. *)
-  Alcotest.(check int) "empty range" 0 (List.length (Cache.access_range c 0x1000L 0))
+  Alcotest.(check int) "empty range" 0 (List.length (Cache.access_range c 0x1000 0))
 
 let test_cache_working_set_hit_rates () =
   (* A working set that fits L1 should yield pure L1 hits on the second
      pass; one that exceeds L1 but fits L2 should show L2 hits. *)
   let pass c base n =
     for i = 0 to n - 1 do
-      ignore (Cache.access c (Int64.add base (Int64.of_int (i * 64))))
+      ignore (Cache.access c (base + (i * 64)))
     done
   in
   (* 16 KiB = 256 lines: fits 32 KiB L1. *)
   let c = Cache.create () in
-  pass c 0x100000L 256;
+  pass c 0x100000 256;
   Cache.reset_counters c;
-  pass c 0x100000L 256;
+  pass c 0x100000 256;
   let k = Cache.counters c in
   Alcotest.(check int) "all L1" 256 k.l1_hits;
   (* 128 KiB = 2048 lines: exceeds L1, fits 256 KiB L2. *)
   let c = Cache.create () in
-  pass c 0x100000L 2048;
+  pass c 0x100000 2048;
   Cache.reset_counters c;
-  pass c 0x100000L 2048;
+  pass c 0x100000 2048;
   let k = Cache.counters c in
   Alcotest.(check int) "no DRAM on second pass" 0 k.dram_accesses;
   Alcotest.(check bool) "mostly L2" true (k.l2_hits > 1024)
@@ -203,7 +271,7 @@ let prop_cache_deterministic =
     (fun addrs ->
       let run () =
         let c = Cache.create () in
-        List.map (fun a -> Cache.access c (Int64.of_int a)) addrs
+        List.map (fun a -> Cache.access c a) addrs
       in
       run () = run ())
 
@@ -254,9 +322,9 @@ let test_clock_alloc_addr_unique_aligned () =
   let b = Clock.alloc_addr clk ~bytes:100 in
   let c = Clock.alloc_addr clk ~bytes:1 in
   Alcotest.(check bool) "aligned" true
-    (Int64.rem a 64L = 0L && Int64.rem b 64L = 0L && Int64.rem c 64L = 0L);
+    (a mod 64 = 0 && b mod 64 = 0 && c mod 64 = 0);
   Alcotest.(check bool) "non-overlapping" true
-    (Int64.sub b a >= 64L && Int64.sub c b >= 128L)
+    (b - a >= 64 && c - b >= 128)
 
 let test_clock_measure () =
   let clk = Clock.create () in
@@ -284,6 +352,10 @@ let () =
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
           Alcotest.test_case "bool balanced" `Quick test_rng_bool_balanced;
+          Alcotest.test_case "limb arithmetic = Int64 reference" `Quick
+            test_rng_matches_int64_reference;
+          Alcotest.test_case "derived entry points = Int64 reference" `Quick
+            test_rng_entry_points_match_reference;
         ] );
       ( "stats",
         [

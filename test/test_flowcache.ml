@@ -243,7 +243,7 @@ let test_zipf_shard_count_invariant () =
 (* ------------------------------------------------------------------ *)
 
 let backends = Array.init 8 (fun i -> Printf.sprintf "backend-%d" i)
-let vip = 0xC0A80001l
+let vip = 0xC0A80001
 
 type hooks = { h_rule : bool; h_maglev : bool; h_nat : bool }
 
@@ -269,24 +269,23 @@ let make_side ~isolated ~cached ~hooks ~flows ~capacity ~seed () =
   let nic = Nic.create ~engine ~traffic:(Traffic.of_plan ~rng:(Cycles.Rng.create seed) plan) () in
   let db = Ruledb.create ~clock () in
   let mg = Maglev.create ~clock ~backends () in
-  let nat = Nat.create ~clock ~external_ip:0xC6336401l () in
+  let nat = Nat.create ~clock ~external_ip:0xC6336401 () in
   let fc =
     if cached then Some (Flowcache.create ~clock ~capacity ~ttl_cycles:(Int64.shift_left 1L 62) ())
     else None
   in
-  (match fc with
-  | Some fc ->
-    if hooks.h_rule then Ruledb.on_mutate db (fun () -> Flowcache.invalidate fc);
-    if hooks.h_maglev then Maglev.on_change mg (fun () -> Flowcache.invalidate fc);
-    if hooks.h_nat then Nat.on_mutate nat (fun () -> Flowcache.invalidate fc)
-  | None -> ());
+  (* Each stateful stage declares its owner's mutation hook;
+     [Pipeline.create ?flowcache] subscribes the cache through them.
+     The negative controls sever a stage's declared hooks instead of
+     skipping a manual subscription. *)
+  let sever wired stage = if wired then stage else Stage.with_hooks [] stage in
   let stages =
     [
-      Ruledb.stage db;
+      sever hooks.h_rule (Ruledb.stage db);
       Filters.checksum_verify;
       Filters.ttl_decrement;
-      Nat.stage nat;
-      Filters.maglev_gre mg ~vip;
+      sever hooks.h_nat (Nat.stage nat);
+      sever hooks.h_maglev (Filters.maglev_gre mg ~vip);
     ]
   in
   let mode =
@@ -344,7 +343,7 @@ let step side n =
   match Pipeline.run side.sd_pipe b with
   | Ok out ->
     let outs =
-      List.map (fun p -> Bytes.sub_string p.Packet.buf 0 p.Packet.len) (Batch.packets out)
+      List.map (fun p -> Packet.to_string p) (Batch.packets out)
     in
     ignore (Nic.tx_batch side.sd_nic out);
     Ok outs
@@ -567,7 +566,7 @@ let test_mutating_stages_keep_sidecar_consistent () =
   let db = Ruledb.create ~clock () in
   Ruledb.add db (Ruledb.rule ~src_port:(2000, 20_000) Ruledb.Accept);
   let mg = Maglev.create ~clock ~backends () in
-  let nat = Nat.create ~clock ~external_ip:0xC6336401l () in
+  let nat = Nat.create ~clock ~external_ip:0xC6336401 () in
   (* Every header-mutating stage in the catalog that leaves the packet
      parseable (GRE encap ends 5-tuple parsing by design, so maglev_gre
      is exercised through the equivalence suite instead). *)
@@ -584,7 +583,7 @@ let test_mutating_stages_keep_sidecar_consistent () =
   List.iter
     (fun (stage : Stage.t) ->
       let b = Nic.rx_batch nic 16 in
-      let out = stage.Stage.process engine b in
+      let out = Stage.process stage engine b in
       if not (sidecar_consistent out) then
         Alcotest.failf "stage %s left a stale flow sidecar" stage.Stage.name;
       ignore (Nic.tx_batch nic out))
@@ -605,7 +604,7 @@ let test_forgetful_stage_caught_by_audit () =
         b)
   in
   let b = Nic.rx_batch nic 16 in
-  let out = forgetful.Stage.process engine b in
+  let out = Stage.process forgetful engine b in
   Alcotest.(check bool) "audit catches the stale sidecar" false (sidecar_consistent out);
   ignore (Nic.tx_batch nic out);
   Mempool.assert_no_leaks pool

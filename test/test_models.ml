@@ -69,8 +69,7 @@ let prop_cache_inclusion =
     (fun addrs ->
       let c = Cycles.Cache.create () in
       List.for_all
-        (fun a ->
-          let addr = Int64.of_int a in
+        (fun addr ->
           ignore (Cycles.Cache.access c addr);
           Cycles.Cache.access c addr = Cycles.Cache.L1)
         addrs)
@@ -85,11 +84,11 @@ let prop_cache_capacity_monotone =
       let dram n =
         let c = Cycles.Cache.create () in
         for i = 0 to n - 1 do
-          ignore (Cycles.Cache.access c (Int64.of_int (i * 64)))
+          ignore (Cycles.Cache.access c (i * 64))
         done;
         Cycles.Cache.reset_counters c;
         for i = 0 to n - 1 do
-          ignore (Cycles.Cache.access c (Int64.of_int (i * 64)))
+          ignore (Cycles.Cache.access c (i * 64))
         done;
         (Cycles.Cache.counters c).Cycles.Cache.dram_accesses
       in
@@ -262,7 +261,8 @@ let prop_packet_parser_total =
     (fun (junk, len) ->
       let buf = Bytes.make 256 '\000' in
       Bytes.blit_string junk 0 buf 0 (String.length junk);
-      let p = { Netstack.Packet.buf; len = min len 256; addr = 0x1000L; slot = 0 } in
+      let p = Netstack.Packet.of_bytes ~addr:0x1000 buf in
+      p.Netstack.Packet.len <- min len 256;
       let probe f = match f () with _ -> true | exception Invalid_argument _ -> true in
       probe (fun () -> ignore (Netstack.Packet.flow_of p))
       && probe (fun () -> ignore (Netstack.Packet.ttl p))

@@ -17,8 +17,7 @@ let tcp_flow =
   Flow.make ~src_ip:0x0A000002l ~dst_ip:0xC0A80001l ~src_port:4321 ~dst_port:443
     ~protocol:Flow.Tcp
 
-let fresh_packet ?(bytes = 2048) () =
-  { Packet.buf = Bytes.create bytes; len = 0; addr = 0x100000L; slot = 0 }
+let fresh_packet ?(bytes = 2048) () = Packet.of_bytes ~addr:0x100000 (Bytes.create bytes)
 
 (* ------------------------------------------------------------------ *)
 (* Flow                                                                *)
@@ -75,8 +74,8 @@ let test_packet_ttl_update_keeps_checksum () =
 let test_packet_dst_rewrite_keeps_checksum () =
   let p = fresh_packet () in
   Packet.craft_udp p ~flow:udp_flow ~payload_bytes:18 ~ttl:64;
-  Packet.set_dst_ip p 0x0A010005l;
-  Alcotest.(check int32) "dst rewritten" 0x0A010005l (Packet.dst_ip p);
+  Packet.set_dst_ip_int p 0x0A010005;
+  Alcotest.(check int) "dst rewritten" 0x0A010005 (Packet.dst_ip_int p);
   Alcotest.(check bool) "checksum fixed" true (Packet.ipv4_checksum_ok p);
   Packet.set_dst_port p 8080;
   Alcotest.(check int) "dst port" 8080 (Packet.dst_port p)
@@ -147,8 +146,9 @@ let prop_incremental_checksum_snat =
       let p = craft_of_quad quad in
       (* A NAT rewrite: source address (IP header, checksummed) then
          source port (L4 header, not part of the IPv4 sum). *)
-      Packet.set_src_ip p new_ip;
-      let ok_ip = Packet.ipv4_checksum_ok p && Packet.src_ip p = new_ip in
+      let new_ip = Int32.to_int new_ip land 0xFFFFFFFF in
+      Packet.set_src_ip_int p new_ip;
+      let ok_ip = Packet.ipv4_checksum_ok p && Packet.src_ip_int p = new_ip in
       Packet.set_src_port p new_port;
       ok_ip && Packet.ipv4_checksum_ok p && Packet.src_port p = new_port)
 
@@ -163,8 +163,8 @@ let prop_incremental_checksum_chain =
         (fun (op, v) ->
           (match op with
           | 0 -> Packet.set_ttl p (v land 0xFF)
-          | 1 -> Packet.set_src_ip p (Int32.of_int v)
-          | 2 -> Packet.set_dst_ip p (Int32.of_int (v * 31))
+          | 1 -> Packet.set_src_ip_int p v
+          | 2 -> Packet.set_dst_ip_int p (v * 31 land 0xFFFFFFFF)
           | _ -> Packet.set_src_port p v);
           Packet.ipv4_checksum_ok p)
         ops)
@@ -217,7 +217,7 @@ let test_mempool_lifo_reuse () =
   let addr = p.Packet.addr in
   Mempool.free pool p;
   let q = Mempool.alloc_exn pool in
-  Alcotest.(check bool) "LIFO returns the hot buffer" true (Int64.equal addr q.Packet.addr)
+  Alcotest.(check bool) "LIFO returns the hot buffer" true (addr = q.Packet.addr)
 
 let test_mempool_mark_reclaim () =
   let clock = Cycles.Clock.create () in
@@ -418,7 +418,7 @@ let test_filter_ttl_drops_expired () =
   Packet.set_ttl (Batch.get batch 0) 1;
   Packet.set_ttl (Batch.get batch 3) 1;
   let before = Mempool.in_use (Engine.pool engine) in
-  let batch = Filters.ttl_decrement.Stage.process engine batch in
+  let batch = Stage.process Filters.ttl_decrement engine batch in
   Alcotest.(check int) "two dropped" 6 (Batch.length batch);
   Alcotest.(check int) "their buffers freed" (before - 2) (Mempool.in_use (Engine.pool engine));
   Batch.iter
@@ -430,8 +430,8 @@ let test_filter_checksum_drops_corrupt () =
   let _nic, batch = make_loaded_batch engine 4 in
   (* Corrupt one header byte without fixing the checksum. *)
   let victim = Batch.get batch 2 in
-  Bytes.set victim.Packet.buf (Packet.eth_header_bytes + 8) '\001';
-  let batch = Filters.checksum_verify.Stage.process engine batch in
+  Slab.set victim.Packet.buf (Packet.eth_header_bytes + 8) '\001';
+  let batch = Stage.process Filters.checksum_verify engine batch in
   Alcotest.(check int) "corrupt packet dropped" 3 (Batch.length batch)
 
 let test_filter_maglev_rewrites () =
@@ -439,12 +439,12 @@ let test_filter_maglev_rewrites () =
   let clock = Engine.clock engine in
   let mg = Maglev.create ~clock ~backends () in
   let _nic, batch = make_loaded_batch engine 8 in
-  let batch = (Filters.maglev mg).Stage.process engine batch in
+  let batch = Stage.process (Filters.maglev mg) engine batch in
   Batch.iter
     (fun p ->
-      let dst = Packet.dst_ip p in
-      Alcotest.(check int32) "steered into 10.1.0.0/16" 0x0A010000l
-        (Int32.logand dst 0xFFFF0000l);
+      let dst = Packet.dst_ip_int p in
+      Alcotest.(check int) "steered into 10.1.0.0/16" 0x0A010000
+        (dst land 0xFFFF0000);
       Alcotest.(check bool) "checksum still ok" true (Packet.ipv4_checksum_ok p))
     batch
 
@@ -458,7 +458,7 @@ let test_filter_firewall_verdicts () =
       0 batch
   in
   let fw = Filters.firewall ~name:"fw" (fun f -> not (Int32.equal f.Flow.src_ip block_src)) in
-  let batch = fw.Stage.process engine batch in
+  let batch = Stage.process fw engine batch in
   Alcotest.(check int) "blocked flows removed" (8 - n_blocked) (Batch.length batch)
 
 let test_filter_payload_scan_charges () =
@@ -467,7 +467,7 @@ let test_filter_payload_scan_charges () =
   let _nic, batch = make_loaded_batch engine 4 in
   let _, cycles =
     Cycles.Clock.measure clock (fun () ->
-        ignore (Filters.payload_scan.Stage.process engine batch))
+        ignore (Stage.process Filters.payload_scan engine batch))
   in
   Alcotest.(check bool) "payload work costs cycles" true (cycles > 0L)
 
@@ -617,7 +617,7 @@ let test_pipeline_isolated_overhead_band () =
     let traffic = Traffic.create ~rng (Traffic.Uniform { flows = 16 }) in
     let nic = Nic.create ~engine ~traffic () in
     let stages = List.init 5 (fun _ -> Filters.null) in
-    let pipe = Pipeline.create ~engine ~mode stages in
+    let pipe = Pipeline.create ~engine ~mode ~fuse:false stages in
     let clock = Engine.clock engine in
     let total = ref 0L in
     for _ = 1 to 30 do
@@ -642,7 +642,7 @@ let test_pipeline_isolated_overhead_band () =
     let nic = Nic.create ~engine ~traffic () in
     let mgr = Sfi.Manager.create ~clock () in
     let stages = List.init 5 (fun _ -> Filters.null) in
-    let pipe = Pipeline.create ~engine ~mode:(Pipeline.Isolated mgr) stages in
+    let pipe = Pipeline.create ~engine ~mode:(Pipeline.Isolated mgr) ~fuse:false stages in
     let total = ref 0L in
     for _ = 1 to 30 do
       let b = Nic.rx_batch nic 8 in
@@ -667,17 +667,17 @@ let test_pipeline_isolated_overhead_band () =
 let test_gre_encap_decap_roundtrip () =
   let p = fresh_packet () in
   Packet.craft_udp p ~flow:udp_flow ~payload_bytes:18 ~ttl:64;
-  let original = Bytes.sub p.Packet.buf 0 p.Packet.len in
+  let original = Packet.to_string p in
   let inner_len = p.Packet.len in
-  Packet.encap_gre p ~outer_src:0x0A0000FEl ~outer_dst:0x0A010003l;
+  Packet.encap_gre p ~outer_src:0x0A0000FE ~outer_dst:0x0A010003;
   Alcotest.(check int) "grew by overhead" (inner_len + Packet.gre_overhead_bytes) p.Packet.len;
   Alcotest.(check bool) "recognised as GRE" true (Packet.is_gre p);
   Alcotest.(check bool) "outer checksum valid" true (Packet.ipv4_checksum_ok p);
-  Alcotest.(check int32) "outer dst is backend" 0x0A010003l (Packet.dst_ip p);
+  Alcotest.(check int) "outer dst is backend" 0x0A010003 (Packet.dst_ip_int p);
   Packet.decap_gre p;
   Alcotest.(check int) "length restored" inner_len p.Packet.len;
   Alcotest.(check bool) "inner bytes identical" true
-    (Bytes.equal original (Bytes.sub p.Packet.buf 0 p.Packet.len));
+    (String.equal original (Packet.to_string p));
   Alcotest.(check bool) "inner checksum still valid" true (Packet.ipv4_checksum_ok p)
 
 let test_gre_decap_rejects_plain () =
@@ -691,7 +691,7 @@ let test_gre_encap_buffer_limit () =
   let p = fresh_packet ~bytes:80 () in
   Packet.craft_udp p ~flow:udp_flow ~payload_bytes:18 ~ttl:64;
   Alcotest.check_raises "no room" (Invalid_argument "Packet.encap_gre: buffer too small")
-    (fun () -> Packet.encap_gre p ~outer_src:1l ~outer_dst:2l)
+    (fun () -> Packet.encap_gre p ~outer_src:1 ~outer_dst:2)
 
 let test_maglev_gre_pipeline () =
   (* LB encapsulates; the backend stage decapsulates; the original
@@ -699,17 +699,17 @@ let test_maglev_gre_pipeline () =
   let engine = make_env () in
   let clock = Engine.clock engine in
   let mg = Maglev.create ~clock ~backends () in
-  let vip = 0xC0A80001l in
+  let vip = 0xC0A80001 in
   let _nic, batch = make_loaded_batch engine 8 in
   let flows_before = Batch.fold (fun acc p -> Packet.flow_of p :: acc) [] batch in
-  let batch = (Filters.maglev_gre mg ~vip).Stage.process engine batch in
+  let batch = Stage.process (Filters.maglev_gre mg ~vip) engine batch in
   Alcotest.(check int) "all encapsulated" 8 (Batch.length batch);
   Batch.iter
     (fun p ->
       Alcotest.(check bool) "tunnelled" true (Packet.is_gre p);
-      Alcotest.(check int32) "from the VIP" vip (Packet.src_ip p))
+      Alcotest.(check int) "from the VIP" vip (Packet.src_ip_int p))
     batch;
-  let batch = Filters.gre_decap.Stage.process engine batch in
+  let batch = Stage.process Filters.gre_decap engine batch in
   Alcotest.(check int) "all decapsulated" 8 (Batch.length batch);
   let flows_after = Batch.fold (fun acc p -> Packet.flow_of p :: acc) [] batch in
   Alcotest.(check bool) "inner flows preserved" true
@@ -722,10 +722,10 @@ let prop_gre_roundtrip =
       let p = fresh_packet () in
       let flow = { udp_flow with Flow.src_port = port } in
       Packet.craft_udp p ~flow ~payload_bytes:payload ~ttl;
-      let before = Bytes.sub p.Packet.buf 0 p.Packet.len in
-      Packet.encap_gre p ~outer_src:1l ~outer_dst:2l;
+      let before = Packet.to_string p in
+      Packet.encap_gre p ~outer_src:1 ~outer_dst:2;
       Packet.decap_gre p;
-      Bytes.equal before (Bytes.sub p.Packet.buf 0 p.Packet.len))
+      String.equal before (Packet.to_string p))
 
 (* ------------------------------------------------------------------ *)
 (* NAT                                                                 *)
@@ -734,13 +734,13 @@ let prop_gre_roundtrip =
 let test_packet_src_rewrite_keeps_checksum () =
   let p = fresh_packet () in
   Packet.craft_udp p ~flow:udp_flow ~payload_bytes:18 ~ttl:64;
-  Packet.set_src_ip p 0xC6336401l;
+  Packet.set_src_ip_int p 0xC6336401;
   Packet.set_src_port p 23456;
-  Alcotest.(check int32) "src rewritten" 0xC6336401l (Packet.src_ip p);
+  Alcotest.(check int) "src rewritten" 0xC6336401 (Packet.src_ip_int p);
   Alcotest.(check int) "src port" 23456 (Packet.src_port p);
   Alcotest.(check bool) "checksum fixed" true (Packet.ipv4_checksum_ok p)
 
-let external_ip = 0xC6336464l (* 198.51.100.100 *)
+let external_ip = 0xC6336464 (* 198.51.100.100 *)
 
 let test_nat_flow_stable_mapping () =
   let clock = Cycles.Clock.create () in
@@ -776,11 +776,11 @@ let test_nat_stage_rewrites_batch () =
   let clock = Engine.clock engine in
   let nat = Nat.create ~clock ~external_ip () in
   let _nic, batch = make_loaded_batch engine 8 in
-  let batch = (Nat.stage nat).Stage.process engine batch in
+  let batch = Stage.process (Nat.stage nat) engine batch in
   Alcotest.(check int) "all forwarded" 8 (Batch.length batch);
   Batch.iter
     (fun p ->
-      Alcotest.(check int32) "src rewritten to external ip" external_ip (Packet.src_ip p);
+      Alcotest.(check int) "src rewritten to external ip" external_ip (Packet.src_ip_int p);
       Alcotest.(check bool) "checksum still valid" true (Packet.ipv4_checksum_ok p);
       Alcotest.(check bool) "port from range" true
         (Packet.src_port p >= 10000 && Packet.src_port p <= 60000))
@@ -798,7 +798,7 @@ let test_nat_stage_drops_on_exhaustion () =
     Batch.iter (fun p -> Hashtbl.replace seen (Packet.flow_of p) ()) batch;
     Hashtbl.length seen
   in
-  let batch = (Nat.stage nat).Stage.process engine batch in
+  let batch = Stage.process (Nat.stage nat) engine batch in
   (* With only 4 external ports, at most 4 distinct flows survive;
      every other packet is dropped and its buffer released. *)
   let dropped = 16 - Batch.length batch in
@@ -875,7 +875,7 @@ let test_hh_stage_counts_packets () =
   let engine = make_env () in
   let hh = Heavy_hitters.create ~capacity:64 in
   let _nic, batch = make_loaded_batch engine 16 in
-  let _ = (Heavy_hitters.stage hh).Stage.process engine batch in
+  let _ = Stage.process (Heavy_hitters.stage hh) engine batch in
   Alcotest.(check int) "all packets observed" 16 (Heavy_hitters.observed hh)
 
 let prop_hh_space_saving_guarantees =
@@ -923,12 +923,13 @@ let test_full_nf_chain_isolated () =
   let traffic = Traffic.create ~rng (Traffic.Zipf { flows = 64; exponent = 1.1 }) in
   let nic = Nic.create ~engine ~traffic () in
   let mgr = Sfi.Manager.create ~clock () in
-  let nat = Nat.create ~clock ~external_ip:0xC6336401l () in
+  let nat = Nat.create ~clock ~external_ip:0xC6336401 () in
   let hh = Heavy_hitters.create ~capacity:16 in
   let mg = Maglev.create ~clock ~backends:[| "a"; "b"; "c" |] ~table_size:4099 () in
-  let vip = 0xC0A80001l in
+  let vip = 0xC0A80001 in
+  (* Per-stage accounting is under test: keep one domain per stage. *)
   let pipe =
-    Pipeline.create ~engine ~mode:(Pipeline.Isolated mgr)
+    Pipeline.create ~engine ~mode:(Pipeline.Isolated mgr) ~fuse:false
       [
         Filters.firewall ~name:"fw" (fun f -> f.Flow.dst_port = 80);
         Nat.stage nat;
@@ -944,7 +945,7 @@ let test_full_nf_chain_isolated () =
       Batch.iter
         (fun p ->
           Alcotest.(check bool) "tunnelled" true (Packet.is_gre p);
-          Alcotest.(check int32) "outer src is the VIP" vip (Packet.src_ip p))
+          Alcotest.(check int) "outer src is the VIP" vip (Packet.src_ip_int p))
         out;
       forwarded := !forwarded + Nic.tx_batch nic out
     | Error e -> Alcotest.failf "pipeline failed: %s" (Sfi.Sfi_error.to_string e)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Validate and summarise BENCH_history.jsonl (make bench-history / CI).
+
+Every non-empty line must be a JSON object {"date": ..., "entries": [...]}
+where each result carries a name and a numeric ns_per_run. Malformed
+lines are reported with their line number and fail the check — the
+history is append-only and cross-commit, so one bad line poisons every
+later trajectory plot.
+"""
+
+import json
+import sys
+
+
+def main(path: str) -> int:
+    bad = 0
+    rows = 0
+    with open(path) as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                if not isinstance(row, dict):
+                    raise ValueError("not a JSON object")
+                date = row["date"]
+                results = row["entries"]
+                if not isinstance(results, list) or not results:
+                    raise ValueError("entries must be a non-empty array")
+                for r in results:
+                    _name = r["name"]
+                    float(r["ns_per_run"])
+            except (ValueError, KeyError, TypeError) as e:
+                print(f"{path}:{n}: malformed line: {e}", file=sys.stderr)
+                bad += 1
+                continue
+            rows += 1
+            mpps = {r["name"]: r["mpps"] for r in results if "mpps" in r}
+            direct = mpps.get("throughput: maglev NF, direct")
+            summary = f" direct={direct:.3f} Mpps" if direct is not None else ""
+            print(f"{date}: {len(results)} rows{summary}")
+    if rows == 0:
+        print(f"{path}: no history rows", file=sys.stderr)
+        return 1
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_history.jsonl"))
