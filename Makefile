@@ -1,7 +1,8 @@
-.PHONY: all build test bench bench-quick bench-json bench-gate bench-history ckpt-incr \
-	ckpt-incr-golden stats scale scale-determinism storm storm-determinism flowcache \
-	flowcache-golden flowcache-determinism fusion fusion-golden fusion-determinism \
-	examples doc clean loc
+.PHONY: all build test test-verbose bench bench-quick bench-json bench-gate bench-history \
+	ckpt-incr ckpt-incr-golden stats scale scale-determinism storm storm-determinism \
+	flowcache flowcache-golden flowcache-determinism fusion fusion-golden \
+	fusion-determinism recover recover-golden recover-determinism determinism \
+	corpus examples doc clean loc
 
 all: build test
 
@@ -57,14 +58,21 @@ scale:
 	dune exec bin/repro.exe -- scale
 
 # The tentpole invariant: the merged telemetry table must be
-# byte-identical however many domains the queues are spread over.
+# byte-identical however many domains the queues are spread over —
+# in direct mode and with per-queue SFI isolation armed.
 scale-determinism:
 	dune exec bin/repro.exe -- scale --shards 1 --stats-only > /tmp/scale-1.txt
 	dune exec bin/repro.exe -- scale --shards 2 --stats-only > /tmp/scale-2.txt
 	dune exec bin/repro.exe -- scale --shards 4 --stats-only > /tmp/scale-4.txt
 	diff /tmp/scale-1.txt /tmp/scale-2.txt
 	diff /tmp/scale-1.txt /tmp/scale-4.txt
-	@echo "scale determinism: OK (1/2/4 shards byte-identical)"
+	@for n in 1 2 4; do \
+	  dune exec bin/repro.exe -- scale --shards $$n --mode isolated --stats-only \
+	    > /tmp/scale-iso-$$n.txt || exit 1; \
+	done
+	diff /tmp/scale-iso-1.txt /tmp/scale-iso-2.txt
+	diff /tmp/scale-iso-1.txt /tmp/scale-iso-4.txt
+	@echo "scale determinism: OK (1/2/4 shards byte-identical, direct + isolated)"
 
 storm:
 	dune exec bin/repro.exe -- storm
@@ -135,6 +143,48 @@ fusion-determinism:
 	@! grep -E "identical=false|identical .*=false" /tmp/fusion-1.txt
 	diff test/golden/fusion_stats.txt /tmp/fusion-1.txt
 	@echo "fusion determinism: OK (1/2/4 shards byte-identical, identities hold, golden OK)"
+
+# E19: durable checkpoints + deterministic crash-restart recovery (full
+# run: counters, corpus rejections, and the wall-clock recovery-vs-
+# rebuild race over a million-flow table).
+recover:
+	dune exec bin/repro.exe -- recover
+
+# The deterministic sections (run counters, per-queue recovery
+# outcomes, recovery telemetry, corpus rejections) against the golden.
+recover-golden:
+	dune exec bin/repro.exe -- recover --stats-only > /tmp/recover-now.txt
+	diff test/golden/recover_stats.txt /tmp/recover-now.txt
+	@echo "recover golden: OK"
+
+# E19's determinism claims, mirrored by CI: crash-restart recovery must
+# replay byte-identically, must not change when the queues are spread
+# over 1, 2 or 4 domains, and every committed corrupt checkpoint must
+# be rejected the same way — all golden-diffed.
+recover-determinism:
+	dune exec bin/repro.exe -- recover --stats-only > /tmp/recover-a.txt
+	dune exec bin/repro.exe -- recover --stats-only > /tmp/recover-b.txt
+	diff /tmp/recover-a.txt /tmp/recover-b.txt
+	dune exec bin/repro.exe -- recover --shards 2 --stats-only > /tmp/recover-2.txt
+	dune exec bin/repro.exe -- recover --shards 4 --stats-only > /tmp/recover-4.txt
+	diff /tmp/recover-a.txt /tmp/recover-2.txt
+	diff /tmp/recover-a.txt /tmp/recover-4.txt
+	diff test/golden/recover_stats.txt /tmp/recover-a.txt
+	@echo "recover determinism: OK (two runs and 1/2/4 shards byte-identical, golden OK)"
+
+# One entry point for every determinism gate, so CI can be a matrix
+# over TARGET instead of four copy-pasted jobs:
+#   make determinism TARGET=scale|storm|flowcache|fusion|recover
+determinism:
+ifndef TARGET
+	$(error determinism requires TARGET=scale|storm|flowcache|fusion|recover)
+endif
+	$(MAKE) $(TARGET)-determinism
+
+# Regenerate the committed corrupt-checkpoint corpus (test/corpus/) —
+# deterministic byte surgery, so the tree is reproducible.
+corpus:
+	dune exec tools/gen_corpus.exe -- test/corpus
 
 examples:
 	dune exec examples/quickstart.exe

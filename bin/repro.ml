@@ -470,6 +470,82 @@ let fusion_cmd =
   in
   Cmd.v (Cmd.info "fusion" ~doc) Term.(const run $ rounds $ batch $ shards $ stats_only)
 
+let recover_cmd =
+  let doc =
+    "Run the durable crash-restart recovery experiment (E19): the storm's stateful flowtab \
+     stage persisted through the versioned checkpoint store, crashed mid-storm and \
+     cold-started from the newest valid checkpoint, plus the committed corpus of corrupt / \
+     truncated / wrong-version checkpoints (each rejected deterministically before step 0). \
+     The full run appends the wall-clock recovery-vs-rebuild measurement."
+  in
+  let shards =
+    let doc = "Shard (domain) count the queues are spread over." in
+    Arg.(value & opt int 1 & info [ "shards"; "n" ] ~docv:"N" ~doc)
+  in
+  let queues =
+    let doc = "RSS receive queues (fixed as shards vary)." in
+    Arg.(value & opt int Experiments.Recover.default_queues & info [ "queues" ] ~docv:"N" ~doc)
+  in
+  let rounds =
+    let doc = "Scheduling rounds per queue." in
+    Arg.(value & opt int Experiments.Recover.default_rounds & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let batch =
+    let doc = "Global arrivals per round." in
+    Arg.(value & opt int 16 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let rate =
+    let doc = "Poisson fault rate per queue round, in [0, 1]." in
+    Arg.(value & opt float Experiments.Recover.default_rate & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let seed =
+    let doc = "Fault-plan seed (the traffic seed is fixed)." in
+    Arg.(value & opt int64 4242L & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let corpus =
+    let doc = "Directory of the committed bad-checkpoint corpus." in
+    Arg.(
+      value
+      & opt string Experiments.Recover.default_corpus
+      & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let stats_only =
+    let doc =
+      "Print only the deterministic sections (storm counts, per-queue cold-start outcomes, \
+       corpus rejections, telemetry — no wall-clock, no shard count, no path anywhere), so \
+       runs with different shard counts — and the golden test/golden/recover_stats.txt — \
+       diff byte-for-byte."
+    in
+    Arg.(value & flag & info [ "stats-only" ] ~doc)
+  in
+  let run shards queues rounds batch rate seed corpus stats_only =
+    if shards <= 0 || shards > queues then begin
+      Printf.eprintf
+        "repro recover: invalid shard count %d (need 1 <= shards <= queues = %d)\n" shards
+        queues;
+      exit 1
+    end;
+    if rounds <= 0 || batch <= 0 || queues <= 0 then begin
+      prerr_endline "repro recover: --rounds, --batch and --queues must be positive";
+      exit 1
+    end;
+    if rate < 0.0 || rate > 1.0 then begin
+      prerr_endline "repro recover: --rate must be in [0, 1]";
+      exit 1
+    end;
+    Experiments.Recover.print_stats
+      (Experiments.Recover.run_stats ~queues ~rounds ~batch_size:batch ~rate ~fault_seed:seed
+         ~shards ());
+    print_newline ();
+    Experiments.Recover.run_corpus ~dir:corpus ();
+    if not stats_only then begin
+      print_newline ();
+      Experiments.Recover.print_wall (Experiments.Recover.run_wall ())
+    end
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(const run $ shards $ queues $ rounds $ batch $ rate $ seed $ corpus $ stats_only)
+
 let verify_cmd =
   let doc =
     "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
@@ -552,5 +628,6 @@ let () =
             ckpt_incr_cmd;
             flowcache_cmd;
             fusion_cmd;
+            recover_cmd;
             verify_cmd;
           ]))

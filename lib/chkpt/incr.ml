@@ -100,6 +100,80 @@ let iarr_restore a () =
   done;
   stats ~nodes:chunks ~dirty:!dirty ~reused:(chunks - !dirty)
 
+let iarr_length a = Array.length a.data
+
+let iarr_dirty_list a =
+  let dirty = ref [] in
+  for c = Array.length a.gens - 1 downto 0 do
+    if a.gens.(c) > a.synced_gen then dirty := c :: !dirty
+  done;
+  !dirty
+
+let chunk_bounds a c =
+  let n = Array.length a.data in
+  let lo = c * a.chunk in
+  (lo, min a.chunk (n - lo))
+
+let iarr_chunk_bytes a c =
+  if c < 0 || c >= iarr_chunks a then invalid_arg "Incr.iarr_chunk_bytes: chunk out of range";
+  let lo, len = chunk_bounds a c in
+  let buf = Buffer.create (len * 8) in
+  for i = lo to lo + len - 1 do
+    Wire.w_i64 buf (Int64.of_int a.data.(i))
+  done;
+  Buffer.contents buf
+
+let iarr_meta_bytes a =
+  let buf = Buffer.create 8 in
+  Wire.w_u32 buf (Array.length a.data);
+  Wire.w_u32 buf a.chunk;
+  Buffer.contents buf
+
+let iarr_to_chunks a =
+  Array.init
+    (1 + iarr_chunks a)
+    (fun slot -> if slot = 0 then iarr_meta_bytes a else iarr_chunk_bytes a (slot - 1))
+
+let iarr_of_chunks chunks =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if Array.length chunks = 0 then fail "iarr: no meta chunk"
+  else
+    match
+      let r = Wire.reader chunks.(0) in
+      let n = Wire.r_u32 r in
+      let chunk = Wire.r_u32 r in
+      if not (Wire.at_end r) then Error "iarr: trailing bytes in meta chunk"
+      else Ok (n, chunk)
+    with
+    | exception Wire.Truncated _ -> fail "iarr: truncated meta chunk"
+    | Error _ as e -> e
+    | Ok (_, chunk) when chunk <= 0 -> fail "iarr: chunk size %d not positive" chunk
+    | Ok (n, chunk) ->
+      let expected = max 1 ((n + chunk - 1) / chunk) in
+      if Array.length chunks <> expected + 1 then
+        fail "iarr: %d data chunks, expected %d" (Array.length chunks - 1) expected
+      else begin
+        let data = Array.make n 0 in
+        let bad = ref None in
+        Array.iteri
+          (fun c payload ->
+            if !bad = None then begin
+              let lo = c * chunk in
+              let len = min chunk (n - lo) in
+              if String.length payload <> len * 8 then
+                bad :=
+                  Some
+                    (Printf.sprintf "iarr: chunk %d carries %d bytes, expected %d" c
+                       (String.length payload) (len * 8))
+              else
+                for i = 0 to len - 1 do
+                  data.(lo + i) <- Int64.to_int (String.get_int64_be payload (i * 8))
+                done
+            end)
+          (Array.sub chunks 1 (Array.length chunks - 1));
+        match !bad with Some m -> Error m | None -> Ok (iarr ~chunk data)
+      end
+
 let iarr_tracker a =
   {
     value = a;

@@ -58,4 +58,30 @@ val iarr : ?chunk:int -> int array -> iarr
 val iarr_get : iarr -> int -> int
 val iarr_set : iarr -> int -> int -> unit
 val iarr_chunks : iarr -> int
+val iarr_length : iarr -> int
 val iarr_tracker : iarr -> iarr tracker
+
+(** {2 Durable chunk codec}
+
+    The wire image of an [iarr] is one meta chunk (array length + chunk
+    size) followed by one payload chunk per tracked chunk (8 bytes
+    big-endian per slot) — so the durable chunk slots line up one-for-
+    one with the in-memory dirty-tracking chunks, and a disk delta of
+    the dirty chunks is exactly as complete as the in-memory shadow
+    sync is (DESIGN.md §14). *)
+
+val iarr_dirty_list : iarr -> int list
+(** Chunk ids dirty since the last sync, ascending. Capture {e before}
+    calling [sync] (which clears them); the matching durable slots are
+    these ids [+ 1] (slot 0 is the meta chunk). *)
+
+val iarr_chunk_bytes : iarr -> int -> string
+(** The wire payload of data chunk [c], read from the live array. *)
+
+val iarr_to_chunks : iarr -> string array
+(** Full wire image: [[| meta; chunk 0; ... |]]. *)
+
+val iarr_of_chunks : string array -> (iarr, string) result
+(** Strict structural decode of a full wire image: validates the meta
+    chunk, the chunk count and every chunk's exact byte length before
+    building a fresh (untracked, unsynced) [iarr]. *)

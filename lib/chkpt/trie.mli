@@ -66,6 +66,27 @@ val render : t -> string
     identical. The byte-identity oracle for the incremental engine's
     tests. *)
 
+(** {2 Durable wire codec}
+
+    The wire image of a trie is: a cell-table chunk (the distinct rule
+    cells in first-visit preorder order, so leaf aliasing survives as
+    stable indices), a spine chunk (the nodes above the same depth-5
+    frontier the parallel sync fans out at, with frontier children as
+    ordered references), and one chunk per frontier subtree. A subtree
+    the owner never dirtied encodes to the same bytes — and therefore
+    the same content hash — as last time, which is what lets
+    {!Durable} share it on disk exactly as the shadow shares it in
+    memory. *)
+
+val to_chunks : t -> string array
+(** Deterministic full wire image: [[| cells; spine; subtree... |]]. *)
+
+val of_chunks : string array -> (t, string) result
+(** Strict structural decode: every flag byte, cell index, action code,
+    depth bound, chunk length and subtree-reference count is validated
+    before any state escapes; the rebuilt trie preserves leaf aliasing
+    and renders byte-identically to the encoded one. *)
+
 (** {2 Incremental tracking}
 
     The trie is uniquely owned, so every structural mutation passes

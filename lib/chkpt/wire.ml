@@ -1,0 +1,78 @@
+exception Truncated of string
+
+(* FNV-1a, 64-bit. Chosen over Digest (MD5) for the chunk pool because
+   the hash doubles as a filename and a fixed 8-byte record field; the
+   store is a deterministic simulation artifact, not an adversarial
+   setting, so 64 bits of content addressing is plenty. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let hex_of_hash h = Printf.sprintf "%016Lx" h
+
+(* --- Writing --------------------------------------------------------- *)
+
+let w_u8 buf v =
+  if v < 0 || v > 0xff then invalid_arg "Wire.w_u8: out of range";
+  Buffer.add_uint8 buf v
+
+let w_u32 buf v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Wire.w_u32: out of range";
+  Buffer.add_int32_be buf (Int32.of_int v)
+
+let w_i64 buf v = Buffer.add_int64_be buf v
+
+let w_string buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+(* --- Reading --------------------------------------------------------- *)
+
+type reader = { src : string; mutable off : int; mutable section : string }
+
+let reader src = { src; off = 0; section = "wire" }
+
+let with_section r label f =
+  let saved = r.section in
+  r.section <- label;
+  Fun.protect ~finally:(fun () -> r.section <- saved) f
+
+let need r n = if r.off + n > String.length r.src then raise (Truncated r.section)
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.off] in
+  r.off <- r.off + 1;
+  v
+
+let r_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_be r.src r.off) land 0xffffffff in
+  r.off <- r.off + 4;
+  v
+
+let r_i64 r =
+  need r 8;
+  let v = String.get_int64_be r.src r.off in
+  r.off <- r.off + 8;
+  v
+
+let r_bytes r n =
+  need r n;
+  let v = String.sub r.src r.off n in
+  r.off <- r.off + n;
+  v
+
+let r_string r =
+  let n = r_u32 r in
+  r_bytes r n
+
+let pos r = r.off
+let remaining r = String.length r.src - r.off
+let at_end r = r.off = String.length r.src

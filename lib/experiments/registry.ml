@@ -133,6 +133,22 @@ let all =
       run = (fun ~quick -> Fusion_ablation.print (Fusion_ablation.run ~quick ()));
     };
     {
+      id = "recover";
+      description = "E19 (extension): durable crash-restart recovery vs full rebuild";
+      run =
+        (fun ~quick ->
+          Recover.print_stats
+            (Recover.run_stats ~rounds:(if quick then 120 else Recover.default_rounds) ());
+          print_newline ();
+          Recover.run_corpus ();
+          print_newline ();
+          if quick then
+            Recover.print_wall
+              (Recover.run_wall ~buckets:(1 lsl 16) ~total:4_000_000
+                 ~persist_every:500_000 ())
+          else Recover.print_wall (Recover.run_wall ()));
+    };
+    {
       id = "ablations";
       description = "A1-A3: design-choice ablations";
       run =

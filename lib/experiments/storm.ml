@@ -39,34 +39,16 @@ let flowtab_stage_index = 2
    incremental (chunk-tracked array): steady-state snapshots copy only
    the chunks written since the last one, and a supervised restart
    rolls back by restoring only the chunks dirtied since — the
-   O(dirty) checkpoint-restore path E15 exercises. *)
+   O(dirty) checkpoint-restore path E15 exercises. The stage itself now
+   lives in {!Netstack.Flowtab} (E19 reuses it with a durable store
+   attached); the storm keeps the in-memory-only configuration. *)
 let storm_stages ~stores (ctx : Netstack.Shard.queue_ctx) =
-  let tab = Chkpt.Incr.iarr ~chunk:16 (Array.make 256 0) in
-  let store =
-    Chkpt.Store.create_incr ~telemetry:ctx.Netstack.Shard.qc_registry
-      (Chkpt.Incr.iarr_tracker tab)
-  in
-  (* The baseline checkpoint, so a restart in the first few batches
-     still has something to restore. *)
-  ignore (Chkpt.Store.snapshot store);
-  stores.(ctx.Netstack.Shard.qc_queue) <- Some store;
-  let batches = ref 0 in
-  let flowtab =
-    Netstack.Stage.make ~name:"flowtab" (fun engine batch ->
-        let clock = Netstack.Engine.clock engine in
-        Netstack.Batch.iter
-          (fun p ->
-            Netstack.Engine.touch_packet engine p ~off:Netstack.Packet.eth_header_bytes
-              ~bytes:Netstack.Packet.ipv4_header_bytes;
-            Cycles.Clock.charge clock (Alu 6);
-            let bucket = Netstack.Flow.hash (Netstack.Packet.flow_of p) land 0xff in
-            Chkpt.Incr.iarr_set tab bucket (Chkpt.Incr.iarr_get tab bucket + 1))
-          batch;
-        incr batches;
-        if !batches mod 8 = 0 then ignore (Chkpt.Store.snapshot store);
-        batch)
-  in
-  [ Netstack.Filters.checksum_verify; Netstack.Filters.ttl_decrement; flowtab ]
+  let ft = Netstack.Flowtab.create ctx in
+  stores.(ctx.Netstack.Shard.qc_queue) <- Some ft;
+  [
+    Netstack.Filters.checksum_verify; Netstack.Filters.ttl_decrement;
+    Netstack.Flowtab.stage ft;
+  ]
 
 let digest_of registry =
   String.sub (Digest.to_hex (Digest.string (Telemetry.Render.to_string registry))) 0 12
@@ -77,7 +59,7 @@ let run_one ?(queues = default_queues) ?(rounds = default_rounds)
   let stores = Array.make queues None in
   let on_restart ~queue ~stage =
     if restore && stage = flowtab_stage_index then
-      match stores.(queue) with Some s -> ignore (Chkpt.Store.rollback s) | None -> ()
+      match stores.(queue) with Some s -> Netstack.Flowtab.rollback s | None -> ()
   in
   let faults =
     Netstack.Shard.default_faults ~rate ~seed:fault_seed ~on_restart ~policy ()
@@ -89,7 +71,7 @@ let run_one ?(queues = default_queues) ?(rounds = default_rounds)
   let r = Netstack.Shard.run (Netstack.Shard.create spec) in
   let restores =
     Array.fold_left
-      (fun acc s -> match s with Some s -> acc + Chkpt.Store.rollbacks s | None -> acc)
+      (fun acc s -> match s with Some s -> acc + Netstack.Flowtab.rollbacks s | None -> acc)
       0 stores
   in
   (r, restores)

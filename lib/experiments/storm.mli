@@ -36,13 +36,13 @@ val default_rate : float
 val flowtab_stage_index : int
 
 val storm_stages :
-  stores:Chkpt.Incr.iarr Chkpt.Store.t option array ->
+  stores:Netstack.Flowtab.t option array ->
   Netstack.Shard.queue_ctx ->
   Netstack.Stage.t list
-(** Checksum + TTL + a checkpointed per-queue flow table (incremental
-    chunk-tracked store, snapshot every 8 batches — steady-state
-    snapshots and restart rollbacks both cost O(dirty chunks)); writes
-    each queue's store into [stores]. *)
+(** Checksum + TTL + a checkpointed per-queue flow table
+    ({!Netstack.Flowtab}: incremental chunk-tracked store, snapshot
+    every 8 batches — steady-state snapshots and restart rollbacks both
+    cost O(dirty chunks)); writes each queue's table into [stores]. *)
 
 val run_one :
   ?queues:int ->

@@ -19,6 +19,8 @@ type stats = {
 type t = {
   clock : Cycles.Clock.t;
   units : unit_slot array;
+  names : string array;
+  telemetry : Telemetry.Registry.t option;
   restart_fn : int -> (unit, string) result;
   on_degrade : int -> unit;
   mutable s_restarts : int;
@@ -48,6 +50,8 @@ let create ?telemetry ?(on_degrade = fun _ -> ()) ~clock ~policy ~names ~restart
   {
     clock;
     units;
+    names;
+    telemetry;
     restart_fn = restart;
     on_degrade;
     s_restarts = 0;
@@ -140,6 +144,35 @@ let report_success t =
         sync_gauge u
       | Down _ | Skipped -> ())
     t.units
+
+let cold_start t ~restore =
+  (* Counters minted lazily here, not in [create]: supervisors that never
+     cold-start must render the exact metric set they always did. *)
+  let mint i =
+    match t.telemetry with
+    | Some reg ->
+      Telemetry.Counter.incr
+        (Telemetry.Registry.counter reg (Printf.sprintf "sfi.%s.cold_restores" t.names.(i)))
+    | None -> ()
+  in
+  let outcomes = ref [] in
+  Array.iteri
+    (fun i u ->
+      let outcome = restore i in
+      (match outcome with
+      | Ok _ ->
+        u.u_state <- Up;
+        t.s_restarts <- t.s_restarts + 1;
+        (match u.u_c_restarts with Some c -> Telemetry.Counter.incr c | None -> ());
+        mint i;
+        sync_gauge u
+      | Error _ ->
+        t.s_restart_failures <- t.s_restart_failures + 1;
+        let now = Cycles.Clock.now t.clock in
+        apply_decision t i u ~now (Restart.on_failure u.u_restart ~now));
+      outcomes := (i, outcome) :: !outcomes)
+    t.units;
+  List.rev !outcomes
 
 let is_skipped t i = t.units.(i).u_state = Skipped
 

@@ -67,6 +67,20 @@ val report_success : t -> unit
 (** The admitted batch completed without failure: closes half-open
     breakers and resets every live unit's consecutive-failure streak. *)
 
+val cold_start : t -> restore:(int -> (string, string) result) -> (int * (string, string) result) list
+(** Crash-restart recovery: bring every unit up {e from durable state}
+    before the first batch. [restore i] reattaches unit [i]'s state
+    from disk (typically {!Chkpt.Durable.recover} inside a stage's
+    restart hook) and returns a short description of what it recovered
+    ([Ok "gen 12 tag flowtab"]) or why it could not ([Error]). A
+    success counts as a restart, increments the unit's restarts counter
+    and a lazily-minted [sfi.<name>.cold_restores] counter (lazy so
+    supervisors that never cold-start keep their exact historical
+    metric set); a failure enters the ordinary restart policy at the
+    clock's current time, exactly like a failed in-flight restart.
+    Returns the outcomes in unit order — callers print them verbatim,
+    which is what makes recovery telemetry goldenable. *)
+
 val is_skipped : t -> int -> bool
 
 type stats = {

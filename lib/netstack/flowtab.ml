@@ -1,0 +1,110 @@
+type t = {
+  tab : Chkpt.Incr.iarr;
+  store : Chkpt.Incr.iarr Chkpt.Store.t;
+  durable : Chkpt.Durable.t option;
+  tag : string;
+  mask : int;
+  snapshot_every : int;
+  mutable batches : int;
+  mutable persists : int;
+  mutable gen : int option; (* newest durable generation; Some => lineage primed *)
+}
+
+let persist t =
+  (* Dirty chunks must be read before the snapshot syncs them away; the
+     chunk payloads come from the live array, which the sync does not
+     touch. *)
+  let dirty = Chkpt.Incr.iarr_dirty_list t.tab in
+  ignore (Chkpt.Store.snapshot t.store);
+  match t.durable with
+  | None -> ()
+  | Some d ->
+    let gen =
+      match t.gen with
+      | None -> Chkpt.Durable.save d ~tag:t.tag ~chunks:(Chkpt.Incr.iarr_to_chunks t.tab)
+      | Some _ ->
+        Chkpt.Durable.save_delta d ~tag:t.tag
+          ~dirty:(List.map (fun c -> (c + 1, Chkpt.Incr.iarr_chunk_bytes t.tab c)) dirty)
+    in
+    t.persists <- t.persists + 1;
+    t.gen <- Some gen
+
+let build ?(snapshot_every = 8) ?durable ?(tag = "flowtab") ~gen ~snapshot_now
+    (ctx : Shard.queue_ctx) tab =
+  let n = Chkpt.Incr.iarr_length tab in
+  if n land (n - 1) <> 0 || n = 0 then
+    invalid_arg "Flowtab: bucket count must be a power of two";
+  if snapshot_every <= 0 then invalid_arg "Flowtab: snapshot_every must be positive";
+  let store =
+    Chkpt.Store.create_incr ~telemetry:ctx.Shard.qc_registry (Chkpt.Incr.iarr_tracker tab)
+  in
+  let t =
+    {
+      tab;
+      store;
+      durable;
+      tag;
+      mask = n - 1;
+      snapshot_every;
+      batches = 0;
+      persists = 0;
+      gen;
+    }
+  in
+  if snapshot_now then persist t;
+  t
+
+let create ?(buckets = 256) ?(chunk = 16) ?snapshot_every ?durable ?tag ctx =
+  (* The baseline checkpoint, so a restart in the first few batches
+     still has something to restore. *)
+  build ?snapshot_every ?durable ?tag ~gen:None ~snapshot_now:true ctx
+    (Chkpt.Incr.iarr ~chunk (Array.make buckets 0))
+
+let recover ?snapshot_every ?(tag = "flowtab") ~durable ctx =
+  match Chkpt.Durable.recover durable with
+  | None, _ -> Error "flowtab: no valid checkpoint"
+  | Some r, _ ->
+    if r.Chkpt.Durable.r_tag <> tag then
+      Error
+        (Printf.sprintf "flowtab: checkpoint tagged %S, expected %S" r.Chkpt.Durable.r_tag
+           tag)
+    else (
+      match Chkpt.Incr.iarr_of_chunks r.Chkpt.Durable.r_chunks with
+      | Error m -> Error m
+      | Ok tab ->
+        (* Snapshot in memory (so rollback works) but do not re-save:
+           the disk already holds this exact state at [r_generation];
+           later persists continue the lineage with deltas. *)
+        let t =
+          build ?snapshot_every ~durable ~tag ~gen:(Some r.Chkpt.Durable.r_generation)
+            ~snapshot_now:false ctx tab
+        in
+        ignore (Chkpt.Store.snapshot t.store);
+        Ok (t, r))
+
+let stage t =
+  Stage.make ~name:"flowtab" (fun engine batch ->
+      let clock = Engine.clock engine in
+      Batch.iter
+        (fun p ->
+          Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+            ~bytes:Packet.ipv4_header_bytes;
+          Cycles.Clock.charge clock (Alu 6);
+          let bucket = Flow.hash (Packet.flow_of p) land t.mask in
+          Chkpt.Incr.iarr_set t.tab bucket (Chkpt.Incr.iarr_get t.tab bucket + 1))
+        batch;
+      t.batches <- t.batches + 1;
+      if t.batches mod t.snapshot_every = 0 then persist t;
+      batch)
+
+let rollback t = ignore (Chkpt.Store.rollback t.store)
+let rollbacks t = Chkpt.Store.rollbacks t.store
+let persists t = t.persists
+let generation t = t.gen
+
+let digest t =
+  let chunks = Chkpt.Incr.iarr_to_chunks t.tab in
+  Digest.to_hex (Digest.string (String.concat "" (Array.to_list chunks)))
+
+let get t i = Chkpt.Incr.iarr_get t.tab i
+let buckets t = t.mask + 1

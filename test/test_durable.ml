@@ -1,0 +1,409 @@
+(* Tests for the durable checkpoint store: wire-codec round-trips for
+   the tracked structures (random op traces), exhaustive single-bit
+   corruption and truncation rejection of the manifest format, pool
+   chunk integrity, delta lineage + content-addressed reuse, newest-
+   valid recovery ordering, and the supervisor cold-start path. *)
+
+open Chkpt
+
+(* ------------------------------------------------------------------ *)
+(* Scratch stores                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let temp_seq = ref 0
+
+let rec fresh_dir () =
+  incr temp_seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bsck-test-%d-%d" (Unix.getpid ()) !temp_seq)
+  in
+  if Sys.file_exists dir then fresh_dir () else dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_store ?(graph = 3) f =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f (Durable.open_store ~graph ~dir ()) dir)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let manifest_path dir gen = Filename.concat dir (Printf.sprintf "ckpt-%08d.bsck" gen)
+let manifest_name gen = Printf.sprintf "ckpt-%08d.bsck" gen
+
+(* ------------------------------------------------------------------ *)
+(* iarr wire round-trip                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_iarr_roundtrip =
+  QCheck.Test.make ~name:"iarr wire image round-trips" ~count:120
+    QCheck.(
+      triple (int_range 0 70) (int_range 1 9)
+        (small_list (pair small_nat (int_range (-1000) 1000))))
+    (fun (n, chunk, writes) ->
+      let a = Incr.iarr ~chunk (Array.make n 0) in
+      List.iter (fun (i, v) -> if n > 0 then Incr.iarr_set a (i mod n) v) writes;
+      let img = Incr.iarr_to_chunks a in
+      match Incr.iarr_of_chunks img with
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+      | Ok b ->
+        Incr.iarr_length b = n
+        && Incr.iarr_chunks b = Incr.iarr_chunks a
+        && (let ok = ref true in
+            for i = 0 to n - 1 do
+              if Incr.iarr_get b i <> Incr.iarr_get a i then ok := false
+            done;
+            !ok)
+        && Incr.iarr_to_chunks b = img)
+
+let test_iarr_decode_rejects () =
+  let a = Incr.iarr ~chunk:4 (Array.make 10 7) in
+  let img = Incr.iarr_to_chunks a in
+  let reject label img =
+    match Incr.iarr_of_chunks img with
+    | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" label
+    | Error _ -> ()
+  in
+  reject "no chunks" [||];
+  reject "missing data chunk" (Array.sub img 0 (Array.length img - 1));
+  reject "extra data chunk" (Array.append img [| "" |]);
+  reject "short chunk" (Array.mapi (fun i c -> if i = 1 then "abc" else c) img);
+  reject "meta trailing bytes" (Array.mapi (fun i c -> if i = 0 then c ^ "x" else c) img);
+  reject "truncated meta" (Array.mapi (fun i c -> if i = 0 then String.sub c 0 3 else c) img)
+
+(* ------------------------------------------------------------------ *)
+(* Trie wire round-trip                                                *)
+(* ------------------------------------------------------------------ *)
+
+let op_gen = QCheck.(triple (int_range 0 4) (int_range 0 7) (int_range 0 0xFFFF))
+let trace_gen = QCheck.(list_of_size Gen.(int_range 0 40) op_gen)
+
+let make_rules () =
+  Array.init 8 (fun i ->
+      Trie.make_rule ~id:i (if i mod 2 = 0 then Trie.Allow else Trie.Deny))
+
+let apply t rules (tag, ri, p16) =
+  let prefix = Int32.shift_left (Int32.of_int p16) 16 in
+  match tag with
+  | 0 -> Trie.insert t ~prefix ~len:16 ~rule:rules.(ri)
+  | 1 -> ignore (Trie.remove t ~prefix ~len:16)
+  | _ -> ignore (Trie.lookup t prefix)
+
+let prop_trie_roundtrip =
+  QCheck.Test.make ~name:"trie wire image round-trips" ~count:80 trace_gen (fun trace ->
+      let rules = make_rules () in
+      let t = Trie.create () in
+      List.iter (apply t rules) trace;
+      let img = Trie.to_chunks t in
+      match Trie.of_chunks img with
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+      | Ok u ->
+        String.equal (Trie.render t) (Trie.render u)
+        && Trie.sharing_preserved u
+        && Trie.to_chunks u = img)
+
+let prop_trie_clean_chunks_stable =
+  (* A mutation confined to one frontier subtree must leave every other
+     subtree chunk byte-identical — that is what makes the content-
+     addressed pool share clean chunks on disk. Cell indices are global
+     first-visit preorder, so the probe inserts at the preorder-last
+     position (the all-ones path): existing cells keep their numbers
+     and only the touched subtree may re-encode differently. *)
+  QCheck.Test.make ~name:"clean trie subtrees re-encode to identical bytes" ~count:60
+    trace_gen
+    (fun trace ->
+      let rules = make_rules () in
+      let t = Trie.create () in
+      List.iter (apply t rules) trace;
+      let prefix = Int32.shift_left (Int32.of_int 0xFFFF) 16 in
+      ignore (Trie.remove t ~prefix ~len:16);
+      let before = Trie.to_chunks t in
+      Trie.insert t ~prefix ~len:16 ~rule:rules.(0);
+      let after = Trie.to_chunks t in
+      (* Cells chunk and spine may legitimately change; at most one
+         subtree chunk (the all-ones one) may be new or re-encoded. *)
+      let old_set = Hashtbl.create 16 in
+      Array.iteri (fun i c -> if i >= 2 then Hashtbl.replace old_set c ()) before;
+      let changed = ref 0 in
+      Array.iteri
+        (fun i c -> if i >= 2 && not (Hashtbl.mem old_set c) then incr changed)
+        after;
+      !changed <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest integrity: every bit, every truncation                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_manifest_bitflips () =
+  with_store (fun d dir ->
+      let gen = Durable.save d ~tag:"tab" ~chunks:[| "alpha"; "beta-longer" |] in
+      let path = manifest_path dir gen in
+      let original = read_file path in
+      (match Durable.load d ~basename:(manifest_name gen) with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "pristine load rejected: %s" (Durable.reject_to_string r));
+      for byte = 0 to String.length original - 1 do
+        for bit = 0 to 7 do
+          let b = Bytes.of_string original in
+          Bytes.set b byte (Char.chr (Char.code original.[byte] lxor (1 lsl bit)));
+          write_file path (Bytes.to_string b);
+          match Durable.load d ~basename:(manifest_name gen) with
+          | Ok _ -> Alcotest.failf "bit %d of byte %d not detected" bit byte
+          | Error _ -> ()
+        done
+      done;
+      write_file path original)
+
+let test_manifest_truncations () =
+  with_store (fun d dir ->
+      let gen = Durable.save d ~tag:"tab" ~chunks:[| "alpha"; "beta-longer"; "g" |] in
+      let path = manifest_path dir gen in
+      let original = read_file path in
+      for n = 0 to String.length original - 1 do
+        write_file path (String.sub original 0 n);
+        (match Durable.load d ~basename:(manifest_name gen) with
+        | Ok _ -> Alcotest.failf "truncation to %d bytes not detected" n
+        | Error r1 -> (
+          (* Deterministic: the same prefix maps to the same reject. *)
+          match Durable.load d ~basename:(manifest_name gen) with
+          | Ok _ -> Alcotest.failf "truncation to %d bytes accepted on retry" n
+          | Error r2 ->
+            Alcotest.(check string)
+              (Printf.sprintf "reject stable at %d" n)
+              (Durable.reject_to_string r1)
+              (Durable.reject_to_string r2)))
+      done;
+      write_file path original;
+      match Durable.load d ~basename:(manifest_name gen) with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "restored load rejected: %s" (Durable.reject_to_string r))
+
+let test_pool_bitflips () =
+  with_store (fun d dir ->
+      let payload = "pool-chunk-payload" in
+      let gen = Durable.save d ~tag:"tab" ~chunks:[| payload |] in
+      let pool =
+        Filename.concat
+          (Filename.concat dir "chunks")
+          (Wire.hex_of_hash (Wire.fnv64 payload) ^ ".chunk")
+      in
+      let original = read_file pool in
+      for byte = 0 to String.length original - 1 do
+        let b = Bytes.of_string original in
+        Bytes.set b byte (Char.chr (Char.code original.[byte] lxor 0x10));
+        write_file pool (Bytes.to_string b);
+        match Durable.load d ~basename:(manifest_name gen) with
+        | Ok _ -> Alcotest.failf "pool corruption at byte %d not detected" byte
+        | Error (Durable.Chunk_checksum_mismatch 0) -> ()
+        | Error r ->
+          Alcotest.failf "pool corruption at byte %d: unexpected %s" byte
+            (Durable.reject_to_string r)
+      done;
+      write_file pool original)
+
+(* ------------------------------------------------------------------ *)
+(* Deltas, reuse, recovery ordering                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pool_files dir = Array.length (Sys.readdir (Filename.concat dir "chunks"))
+
+let test_delta_lineage_and_reuse () =
+  with_store (fun d dir ->
+      let a = Incr.iarr ~chunk:4 (Array.make 32 0) in
+      let g1 = Durable.save d ~tag:"tab" ~chunks:(Incr.iarr_to_chunks a) in
+      let pool_after_full = pool_files dir in
+      (* Dirty exactly one tracking chunk; the delta may add at most one
+         pool file (plus none for the untouched slots). *)
+      Incr.iarr_set a 5 41;
+      let dirty = Incr.iarr_dirty_list a in
+      Alcotest.(check (list int)) "one dirty chunk" [ 1 ] dirty;
+      let g2 =
+        Durable.save_delta d ~tag:"tab"
+          ~dirty:(List.map (fun c -> (c + 1, Incr.iarr_chunk_bytes a c)) dirty)
+      in
+      Alcotest.(check int) "generations advance" (g1 + 1) g2;
+      Alcotest.(check bool) "pool grew by at most one" true
+        (pool_files dir <= pool_after_full + 1);
+      (* The delta manifest is complete: loading it alone rebuilds the
+         whole array. *)
+      (match Durable.load d ~basename:(manifest_name g2) with
+      | Error r -> Alcotest.failf "delta load rejected: %s" (Durable.reject_to_string r)
+      | Ok (tag, chunks, gen) -> (
+        Alcotest.(check string) "tag" "tab" tag;
+        Alcotest.(check int) "gen" g2 gen;
+        match Incr.iarr_of_chunks chunks with
+        | Error m -> Alcotest.failf "decode: %s" m
+        | Ok b ->
+          Alcotest.(check int) "mutated slot" 41 (Incr.iarr_get b 5);
+          Alcotest.(check int) "clean slot" 0 (Incr.iarr_get b 0)));
+      (* Identical payloads are never written twice. *)
+      let before = pool_files dir in
+      ignore (Durable.save d ~tag:"tab" ~chunks:(Incr.iarr_to_chunks a));
+      Alcotest.(check int) "full re-save reuses every pool chunk" before (pool_files dir))
+
+let test_save_delta_guards () =
+  with_store (fun d _dir ->
+      (match Durable.save_delta d ~tag:"tab" ~dirty:[] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "delta without parent accepted");
+      ignore (Durable.save d ~tag:"tab" ~chunks:[| "a"; "b" |]);
+      (match Durable.save_delta d ~tag:"other" ~dirty:[] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "tag mismatch accepted");
+      match Durable.save_delta d ~tag:"tab" ~dirty:[ (2, "zzz") ] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "out-of-range slot accepted")
+
+let test_recover_newest_valid () =
+  with_store (fun d dir ->
+      let g1 = Durable.save d ~tag:"tab" ~chunks:[| "one" |] in
+      let g2 = Durable.save d ~tag:"tab" ~chunks:[| "two" |] in
+      let g3 = Durable.save d ~tag:"tab" ~chunks:[| "three" |] in
+      (* Corrupt the newest file; recovery must fall back to g2 and
+         report g3's rejection, newest first. *)
+      let path = manifest_path dir g3 in
+      let s = read_file path in
+      write_file path (String.sub s 0 (String.length s - 3));
+      let d2 = Durable.open_store ~graph:3 ~dir () in
+      (match Durable.recover d2 with
+      | Some rv, rejects ->
+        Alcotest.(check int) "fell back to g2" g2 rv.Durable.r_generation;
+        Alcotest.(check (list string))
+          "g3 rejected first"
+          [ manifest_name g3 ]
+          (List.map fst rejects);
+        Alcotest.(check string) "payload" "two" rv.Durable.r_chunks.(0)
+      | None, _ -> Alcotest.fail "no checkpoint recovered");
+      (* A recovered handle continues the lineage with deltas. *)
+      let g4 = Durable.save_delta d2 ~tag:"tab" ~dirty:[ (0, "four") ] in
+      Alcotest.(check bool) "lineage continues past newest file" true (g4 > g3);
+      ignore g1)
+
+let test_recover_empty_store () =
+  with_store (fun d _dir ->
+      match Durable.recover d with
+      | None, [] -> ()
+      | None, _ -> Alcotest.fail "rejections in an empty store"
+      | Some _, _ -> Alcotest.fail "recovered from an empty store")
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor cold start                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cold_start () =
+  let reg = Telemetry.Registry.create () in
+  let clock = Cycles.Clock.create () in
+  let sup =
+    Faultinj.Supervisor.create ~telemetry:reg ~clock ~policy:Faultinj.Restart.Degrade
+      ~names:[| "good"; "bad" |]
+      ~restart:(fun _ -> Ok ())
+      ()
+  in
+  let outcomes =
+    Faultinj.Supervisor.cold_start sup ~restore:(fun i ->
+        if i = 0 then Ok "gen 7" else Error "no valid checkpoint")
+  in
+  (match outcomes with
+  | [ (0, Ok "gen 7"); (1, Error _) ] -> ()
+  | _ -> Alcotest.fail "unexpected cold-start outcomes");
+  let stats = Faultinj.Supervisor.stats sup in
+  Alcotest.(check int) "one restart" 1 stats.Faultinj.Supervisor.restarts;
+  Alcotest.(check int) "one failure" 1 stats.Faultinj.Supervisor.restart_failures;
+  (* Degrade policy: the failed unit is skipped, service for the rest. *)
+  Alcotest.(check bool) "failed unit skipped" true (Faultinj.Supervisor.is_skipped sup 1);
+  Alcotest.(check bool) "good unit serves" false (Faultinj.Supervisor.is_skipped sup 0);
+  let counter name =
+    match Telemetry.Registry.find reg name with
+    | Some (Telemetry.Registry.Counter c) -> Telemetry.Counter.value c
+    | _ -> -1
+  in
+  Alcotest.(check int) "cold_restores minted lazily" 1 (counter "sfi.good.cold_restores");
+  Alcotest.(check int) "no counter for the failed unit" (-1)
+    (counter "sfi.bad.cold_restores")
+
+(* ------------------------------------------------------------------ *)
+(* Flowtab durable recovery                                            *)
+(* ------------------------------------------------------------------ *)
+
+let flowtab_ctx reg clock =
+  {
+    Netstack.Shard.qc_queue = 0;
+    qc_clock = clock;
+    qc_registry = reg;
+    qc_flowcache = None;
+  }
+
+let test_flowtab_recover () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+  @@ fun () ->
+  let reg = Telemetry.Registry.create () in
+  let clock = Cycles.Clock.create () in
+  let d = Durable.open_store ~graph:3 ~dir () in
+  let a = Incr.iarr ~chunk:16 (Array.make 256 0) in
+  Incr.iarr_set a 9 123;
+  ignore (Durable.save d ~tag:"flowtab" ~chunks:(Incr.iarr_to_chunks a));
+  (match
+     Netstack.Flowtab.recover ~durable:(Durable.open_store ~graph:3 ~dir ())
+       (flowtab_ctx reg clock)
+   with
+  | Error m -> Alcotest.failf "recover failed: %s" m
+  | Ok (ft, rv) ->
+    Alcotest.(check int) "bucket value survives" 123 (Netstack.Flowtab.get ft 9);
+    Alcotest.(check int) "buckets" 256 (Netstack.Flowtab.buckets ft);
+    Alcotest.(check string) "tag" "flowtab" rv.Durable.r_tag);
+  (* A store whose newest checkpoint carries another tag is refused. *)
+  ignore (Durable.save d ~tag:"other" ~chunks:[| "x" |]);
+  match
+    Netstack.Flowtab.recover ~durable:(Durable.open_store ~graph:3 ~dir ())
+      (flowtab_ctx reg clock)
+  with
+  | Ok _ -> Alcotest.fail "tag mismatch accepted"
+  | Error _ -> ()
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "durable"
+    [
+      ( "codec",
+        [
+          qt prop_iarr_roundtrip;
+          qt prop_trie_roundtrip;
+          qt prop_trie_clean_chunks_stable;
+          Alcotest.test_case "iarr decode rejects malformed images" `Quick
+            test_iarr_decode_rejects;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "every manifest bit flip detected" `Quick
+            test_manifest_bitflips;
+          Alcotest.test_case "every manifest truncation rejected deterministically" `Quick
+            test_manifest_truncations;
+          Alcotest.test_case "pool chunk corruption detected" `Quick test_pool_bitflips;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "delta lineage + content-addressed reuse" `Quick
+            test_delta_lineage_and_reuse;
+          Alcotest.test_case "save_delta guards" `Quick test_save_delta_guards;
+          Alcotest.test_case "recover newest valid, newest-first rejects" `Quick
+            test_recover_newest_valid;
+          Alcotest.test_case "recover over an empty store" `Quick test_recover_empty_store;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "supervisor cold start" `Quick test_cold_start;
+          Alcotest.test_case "flowtab recovers from disk" `Quick test_flowtab_recover;
+        ] );
+    ]

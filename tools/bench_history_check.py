@@ -6,6 +6,13 @@ where each result carries a name and a numeric ns_per_run. Malformed
 lines are reported with their line number and fail the check — the
 history is append-only and cross-commit, so one bad line poisons every
 later trajectory plot.
+
+Two append-discipline gates on top of per-line shape:
+  - dates must be non-decreasing (ISO dates compare lexicographically);
+    an out-of-order row means someone rewrote history or merged badly.
+  - no two lines may be byte-identical; a duplicated line is a botched
+    rebase or a double-run of `make bench-json`, and it silently skews
+    any averaged trajectory. Several runs on the same *date* are fine.
 """
 
 import json
@@ -15,16 +22,30 @@ import sys
 def main(path: str) -> int:
     bad = 0
     rows = 0
+    prev_date = None
+    prev_date_line = 0
+    seen_lines = {}
     with open(path) as f:
         for n, line in enumerate(f, 1):
             line = line.strip()
             if not line:
                 continue
+            if line in seen_lines:
+                print(
+                    f"{path}:{n}: duplicate of line {seen_lines[line]}"
+                    " (identical bytes)",
+                    file=sys.stderr,
+                )
+                bad += 1
+                continue
+            seen_lines[line] = n
             try:
                 row = json.loads(line)
                 if not isinstance(row, dict):
                     raise ValueError("not a JSON object")
                 date = row["date"]
+                if not isinstance(date, str):
+                    raise ValueError("date must be a string")
                 results = row["entries"]
                 if not isinstance(results, list) or not results:
                     raise ValueError("entries must be a non-empty array")
@@ -35,6 +56,16 @@ def main(path: str) -> int:
                 print(f"{path}:{n}: malformed line: {e}", file=sys.stderr)
                 bad += 1
                 continue
+            if prev_date is not None and date < prev_date:
+                print(
+                    f"{path}:{n}: date {date} precedes {prev_date}"
+                    f" (line {prev_date_line}) — history must stay"
+                    " append-only",
+                    file=sys.stderr,
+                )
+                bad += 1
+                continue
+            prev_date, prev_date_line = date, n
             rows += 1
             mpps = {r["name"]: r["mpps"] for r in results if "mpps" in r}
             direct = mpps.get("throughput: maglev NF, direct")
