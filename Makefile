@@ -1,8 +1,8 @@
 .PHONY: all build test test-verbose bench bench-quick bench-json bench-gate bench-history \
 	ckpt-incr ckpt-incr-golden stats scale scale-determinism storm storm-determinism \
 	flowcache flowcache-golden flowcache-determinism fusion fusion-golden \
-	fusion-determinism recover recover-golden recover-determinism determinism \
-	corpus examples doc clean loc
+	fusion-determinism recover recover-golden recover-determinism soa soa-golden \
+	soa-determinism determinism corpus examples doc clean loc
 
 all: build test
 
@@ -172,12 +172,38 @@ recover-determinism:
 	diff test/golden/recover_stats.txt /tmp/recover-a.txt
 	@echo "recover determinism: OK (two runs and 1/2/4 shards byte-identical, golden OK)"
 
+# E20: the structure-of-arrays header-plane ablation (full run, with
+# the wall-clock 2x2 table and its >= 1.2 Mpps gate appended).
+soa:
+	dune exec bin/repro.exe -- soa
+
+# The deterministic sections (bytes-vs-soa cycle/output/telemetry
+# identity, deferred-writeback frames audit, sharded ledger) against
+# the golden.
+soa-golden:
+	dune exec bin/repro.exe -- soa --stats-only > /tmp/soa-now.txt
+	diff test/golden/soa_stats.txt /tmp/soa-now.txt
+	@echo "soa golden: OK"
+
+# E20's determinism claims, mirrored by CI: the column plane must not
+# perturb a single virtual counter when the queues are spread over
+# 1, 2 or 4 domains, and every printed identity line must hold.
+soa-determinism:
+	dune exec bin/repro.exe -- soa --shards 1 --stats-only > /tmp/soa-1.txt
+	dune exec bin/repro.exe -- soa --shards 2 --stats-only > /tmp/soa-2.txt
+	dune exec bin/repro.exe -- soa --shards 4 --stats-only > /tmp/soa-4.txt
+	diff /tmp/soa-1.txt /tmp/soa-2.txt
+	diff /tmp/soa-1.txt /tmp/soa-4.txt
+	@! grep -E "identical=false|identical .*=false" /tmp/soa-1.txt
+	diff test/golden/soa_stats.txt /tmp/soa-1.txt
+	@echo "soa determinism: OK (1/2/4 shards byte-identical, identities hold, golden OK)"
+
 # One entry point for every determinism gate, so CI can be a matrix
 # over TARGET instead of four copy-pasted jobs:
-#   make determinism TARGET=scale|storm|flowcache|fusion|recover
+#   make determinism TARGET=scale|storm|flowcache|fusion|recover|soa
 determinism:
 ifndef TARGET
-	$(error determinism requires TARGET=scale|storm|flowcache|fusion|recover)
+	$(error determinism requires TARGET=scale|storm|flowcache|fusion|recover|soa)
 endif
 	$(MAKE) $(TARGET)-determinism
 

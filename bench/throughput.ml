@@ -123,9 +123,48 @@ let ablation_rows ~batches =
       ("throughput: maglev NF, direct heap-bytes", fun _env -> Netstack.Pipeline.Direct);
   ]
 
+(* The E20 ablation rows: the plain Maglev NF rewriting headers through
+   the batch's column plane (deferred writeback, one RFC 1624 fold per
+   packet at materialization) versus the write-through byte twins.
+   Same configuration as the E20 wall race — heap payload backing, one
+   recycled rx batch — so the "direct soa" row is the BENCH-tracked
+   trajectory of the `repro soa` gate's headline number. *)
+let soa_rows ~batches =
+  let run_variant name ~soa =
+    let env =
+      Experiments.Env.make ~backing:Netstack.Slab.Heap_bytes
+        ~telemetry:(Telemetry.Registry.create ()) ()
+    in
+    let _mg, stages = Experiments.Env.maglev_plain_nf ~soa env in
+    let pipe =
+      Netstack.Pipeline.create ~engine:env.Experiments.Env.engine
+        ~mode:Netstack.Pipeline.Direct stages
+    in
+    let nic = env.Experiments.Env.nic in
+    let batch = Netstack.Batch.create ~capacity:batch_size in
+    let serve n =
+      let received = ref 0 in
+      for _ = 1 to n do
+        Netstack.Nic.rx_batch_into nic batch batch_size;
+        received := !received + Netstack.Batch.length batch;
+        match Netstack.Pipeline.run pipe batch with
+        | Ok out -> ignore (Netstack.Nic.tx_batch nic out)
+        | Error _ -> assert false
+      done;
+      !received
+    in
+    ignore (serve 256);
+    best_of ~name ~batches serve
+  in
+  [
+    run_variant "throughput: maglev NF, direct bytes" ~soa:false;
+    run_variant "throughput: maglev NF, direct soa" ~soa:true;
+  ]
+
 let measure ~quick =
   let batches = if quick then 512 else 8192 in
-  List.map (run_mode ~batches) modes @ ablation_rows ~batches @ flowcache_rows ~batches
+  List.map (run_mode ~batches) modes
+  @ ablation_rows ~batches @ soa_rows ~batches @ flowcache_rows ~batches
 
 let run ~quick =
   let results = measure ~quick in

@@ -143,7 +143,7 @@ let tests =
 
 (* Sorted [(name, ns_per_run)] rows — the JSON emitter and the printed
    table share one measurement pass. *)
-let measure () =
+let measure_once () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
@@ -157,6 +157,26 @@ let measure () =
       | _ -> ())
     results;
   List.sort compare !rows
+
+(* Best-of-N over whole Bechamel passes. One OLS estimate is already a
+   regression over many samples, but on a shared single-core host a
+   pass that lands on a noisy spell inflates every row it contains —
+   the 2-3x swings BENCH_history.jsonl shows on identical code. The
+   per-row minimum across [passes] keeps the same cost-floor semantics
+   the sustained-throughput windows use ({!Throughput.best_of}). *)
+let passes = 3
+
+let measure () =
+  let best = Hashtbl.create 32 in
+  for _ = 1 to passes do
+    List.iter
+      (fun (name, ns) ->
+        match Hashtbl.find_opt best name with
+        | Some prev when prev <= ns -> ()
+        | _ -> Hashtbl.replace best name ns)
+      (measure_once ())
+  done;
+  List.sort compare (Hashtbl.fold (fun name ns acc -> (name, ns) :: acc) best [])
 
 let print rows =
   print_endline "Wall-clock microbenchmarks (Bechamel, monotonic clock):";

@@ -546,6 +546,62 @@ let recover_cmd =
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(const run $ shards $ queues $ rounds $ batch $ rate $ seed $ corpus $ stats_only)
 
+let soa_cmd =
+  let doc =
+    "Run the structure-of-arrays header plane ablation (E20): the plain Maglev NF in \
+     {bytes, soa} x {unfused, fused} arms (cycle/output/telemetry identity plus a \
+     materialized-frames byte audit), the sharded fused-NF ledger, then the wall-clock 2x2 \
+     race with the direct soa fused >= 1.2 Mpps gate."
+  in
+  let rounds =
+    let doc = "Batches per deterministic run." in
+    Arg.(
+      value
+      & opt int Experiments.Soa_ablation.default_rounds
+      & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let batch =
+    let doc = "Packets per batch (deterministic section)." in
+    Arg.(
+      value
+      & opt int Experiments.Soa_ablation.default_batch_size
+      & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let shards =
+    let doc = "Shard (domain) count for the sharded fused-NF block." in
+    Arg.(value & opt int 1 & info [ "shards"; "n" ] ~docv:"N" ~doc)
+  in
+  let stats_only =
+    let doc =
+      "Print only the deterministic sections (virtual counters, identity lines, the frames \
+       audit, the sharded ledger — no wall-clock anywhere, no shard count), so runs with \
+       different shard counts — and the golden test/golden/soa_stats.txt — diff \
+       byte-for-byte."
+    in
+    Arg.(value & flag & info [ "stats-only" ] ~doc)
+  in
+  let run rounds batch shards stats_only =
+    if rounds <= 0 || batch <= 0 then begin
+      prerr_endline "repro soa: --rounds and --batch must be positive";
+      exit 1
+    end;
+    if shards <= 0 || shards > 4 then begin
+      Printf.eprintf "repro soa: invalid shard count %d (need 1 <= shards <= queues = 4)\n"
+        shards;
+      exit 1
+    end;
+    let stats = Experiments.Soa_ablation.run_stats ~rounds ~batch_size:batch () in
+    Experiments.Soa_ablation.print_stats stats;
+    print_newline ();
+    Experiments.Soa_ablation.print_shard_stats
+      (Experiments.Soa_ablation.run_shard_stats ~rounds ~batch_size:batch ~shards ());
+    if not stats_only then begin
+      print_newline ();
+      Experiments.Soa_ablation.print_wall (Experiments.Soa_ablation.run_wall ())
+    end
+  in
+  Cmd.v (Cmd.info "soa" ~doc) Term.(const run $ rounds $ batch $ shards $ stats_only)
+
 let verify_cmd =
   let doc =
     "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
@@ -629,5 +685,6 @@ let () =
             flowcache_cmd;
             fusion_cmd;
             recover_cmd;
+            soa_cmd;
             verify_cmd;
           ]))

@@ -35,6 +35,12 @@ type level_state = {
   set_mask : int;  (* [sets - 1] when [sets] is a power of two, else 0 *)
   tags : int array;
   stamps : int array;
+  (* [fill_counts.(s)] = number of valid ways in set [s]. Ways only
+     ever transition invalid -> valid (fills install in way order;
+     nothing but {!flush} invalidates), so the first invalid way of a
+     partially-filled set IS its fill count — one load replaces the
+     linear invalid-way scan on every fill. *)
+  fill_counts : int array;
 }
 
 type counters = { l1_hits : int; l2_hits : int; l3_hits : int; dram_accesses : int }
@@ -57,11 +63,34 @@ type t = {
      the slow path. *)
   mutable last_line : int;
   mutable last_idx : int;
+  (* Tag-validated direct-mapped memo of L1-resident lines: entry
+     [line land memo_mask] remembers the L1 way index that last held
+     [line]. The memo is advisory — a hit is honoured only after
+     re-checking [l1.tags.(idx) = line], which is sound because a line
+     is only ever installed into its own set and never resides in two
+     ways at once, so a validated index IS the way a probe would find.
+     Eviction needs no memo maintenance: the overwritten tag fails the
+     validation and the access falls back to the full probe. The fast
+     path performs exactly the probe's state transition (tick advance,
+     stamp refresh, L1-hit count), so counters, LRU order and therefore
+     every charged latency are bit-identical with the memo disabled. *)
+  memo_lines : int array;
+  memo_idxs : int array;
 }
+
+let memo_slots = 1024
+let memo_mask = memo_slots - 1
 
 let make_level sets ways =
   let set_mask = if sets land (sets - 1) = 0 then sets - 1 else 0 in
-  { sets; ways; set_mask; tags = Array.make (sets * ways) (-1); stamps = Array.make (sets * ways) 0 }
+  {
+    sets;
+    ways;
+    set_mask;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    fill_counts = Array.make sets 0;
+  }
 
 let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1)
 
@@ -82,6 +111,8 @@ let create ?(config = default_config) () =
     c_dram = 0;
     last_line = -1;
     last_idx = -1;
+    memo_lines = Array.make memo_slots (-1);
+    memo_idxs = Array.make memo_slots 0;
   }
 
 let line_bytes t = t.config.line_bytes
@@ -96,59 +127,73 @@ let[@inline] line_of t addr =
    so indexing is a mask, not a division. *)
 let[@inline] set_of st line = if st.set_mask <> 0 then line land st.set_mask else line mod st.sets
 
-(* Scan loops live at top level with every capture passed as an
-   argument: a local [let rec] that closes over the level state would
-   allocate a closure on every probe, and this is the hottest function
-   in the simulator. *)
-let rec scan_ways tags stamps base ways line tick w =
-  if w = ways then false
-  else if Array.unsafe_get tags (base + w) = line then begin
-    Array.unsafe_set stamps (base + w) tick;
-    true
-  end
-  else scan_ways tags stamps base ways line tick (w + 1)
+(* Way scans are branchless: a tag compare that exits a loop at a
+   random way is a guaranteed branch mispredict (~15-20 cycles), which
+   dominates the handful of ALU ops a full masked scan costs. [nz d]
+   is -1 when [d] is nonzero and 0 when it is zero, so the accumulator
+   keeps its old value on mismatches and takes the way index on the
+   (unique — a line lives in at most one way) match. The scan itself
+   mutates nothing; the caller refreshes the hit way's stamp, exactly
+   as the early-exit loop did. *)
+let[@inline] nz d = (d lor -d) asr (Sys.int_size - 1)
+
+let[@inline] scan_ways_idx tags base ways line =
+  let acc = ref (-1) in
+  for w = 0 to ways - 1 do
+    let m = nz (Array.unsafe_get tags (base + w) lxor line) in
+    acc := (!acc land m) lor (w land lnot m)
+  done;
+  !acc
 
 (* Returns [true] on hit; on hit refreshes the LRU stamp. *)
 let probe t st line =
-  let s = set_of st line in
-  let base = s * st.ways in
-  scan_ways st.tags st.stamps base st.ways line t.tick 0
-
-(* L1 probe that reports which way hit (-1 on miss), for the
-   repeated-line memo. *)
-let rec scan_ways_idx tags stamps base ways line tick w =
-  if w = ways then -1
-  else if Array.unsafe_get tags (base + w) = line then begin
-    Array.unsafe_set stamps (base + w) tick;
-    base + w
+  let base = set_of st line * st.ways in
+  let w = scan_ways_idx st.tags base st.ways line in
+  if w >= 0 then begin
+    Array.unsafe_set st.stamps (base + w) t.tick;
+    true
   end
-  else scan_ways_idx tags stamps base ways line tick (w + 1)
+  else false
 
+(* L1 probe that reports which array index hit (-1 on miss), for the
+   repeated-line memo. *)
 let probe_l1_idx t line =
   let st = t.l1 in
   let base = set_of st line * st.ways in
-  scan_ways_idx st.tags st.stamps base st.ways line t.tick 0
-
-let rec find_invalid tags base ways w =
-  if w = ways then -1 else if Array.unsafe_get tags (base + w) = -1 then w else find_invalid tags base ways (w + 1)
+  let w = scan_ways_idx st.tags base st.ways line in
+  if w >= 0 then begin
+    Array.unsafe_set st.stamps (base + w) t.tick;
+    base + w
+  end
+  else -1
 
 (* Install [line], preferring an invalid way, else evicting the LRU
-   way; returns the index written. *)
+   way; returns the index written. The first-invalid way is the set's
+   fill count (see [level_state]), so a warm set goes straight to the
+   LRU scan and a cold one fills without scanning at all. *)
 let fill_idx t st line =
   let s = set_of st line in
   let base = s * st.ways in
+  let fc = Array.unsafe_get st.fill_counts s in
   let victim =
-    match find_invalid st.tags base st.ways 0 with
-    | w when w >= 0 -> w
-    | _ ->
+    if fc < st.ways then begin
+      Array.unsafe_set st.fill_counts s (fc + 1);
+      fc
+    end
+    else begin
+      (* Branchless strict-min scan: keeps the first way holding the
+         minimal stamp, like the if-based loop it replaces, without a
+         data-dependent branch per way. *)
       let best = ref 0 in
+      let bstamp = ref (Array.unsafe_get st.stamps base) in
       for w = 1 to st.ways - 1 do
-        if
-          Array.unsafe_get st.stamps (base + w)
-          < Array.unsafe_get st.stamps (base + !best)
-        then best := w
+        let s = Array.unsafe_get st.stamps (base + w) in
+        let m = (s - !bstamp) asr (Sys.int_size - 1) in
+        best := (w land m) lor (!best land lnot m);
+        bstamp := (s land m) lor (!bstamp land lnot m)
       done;
       !best
+    end
   in
   Array.unsafe_set st.tags (base + victim) line;
   Array.unsafe_set st.stamps (base + victim) t.tick;
@@ -166,30 +211,55 @@ let access_line t line =
     L1
   end
   else begin
-    t.last_line <- line;
-    let w = probe_l1_idx t line in
-    if w >= 0 then begin
-      t.last_idx <- w;
+    let h = line land memo_mask in
+    let midx = Array.unsafe_get t.memo_idxs h in
+    if
+      Array.unsafe_get t.memo_lines h = line
+      && Array.unsafe_get t.l1.tags midx = line
+    then begin
+      (* Memoised L1 hit: same stamp refresh and counter bump the full
+         probe would perform on the (unique) way holding [line]. *)
+      t.last_line <- line;
+      t.last_idx <- midx;
+      Array.unsafe_set t.l1.stamps midx t.tick;
       t.c_l1 <- t.c_l1 + 1;
       L1
     end
-    else if probe t t.l2 line then begin
-      t.c_l2 <- t.c_l2 + 1;
-      t.last_idx <- fill_idx t t.l1 line;
-      L2
-    end
-    else if probe t t.l3 line then begin
-      t.c_l3 <- t.c_l3 + 1;
-      t.last_idx <- fill_idx t t.l1 line;
-      fill t t.l2 line;
-      L3
-    end
     else begin
-      t.c_dram <- t.c_dram + 1;
-      t.last_idx <- fill_idx t t.l1 line;
-      fill t t.l2 line;
-      fill t t.l3 line;
-      Dram
+      t.last_line <- line;
+      let w = probe_l1_idx t line in
+      if w >= 0 then begin
+        t.last_idx <- w;
+        Array.unsafe_set t.memo_lines h line;
+        Array.unsafe_set t.memo_idxs h w;
+        t.c_l1 <- t.c_l1 + 1;
+        L1
+      end
+      else begin
+        let level =
+          if probe t t.l2 line then begin
+            t.c_l2 <- t.c_l2 + 1;
+            t.last_idx <- fill_idx t t.l1 line;
+            L2
+          end
+          else if probe t t.l3 line then begin
+            t.c_l3 <- t.c_l3 + 1;
+            t.last_idx <- fill_idx t t.l1 line;
+            fill t t.l2 line;
+            L3
+          end
+          else begin
+            t.c_dram <- t.c_dram + 1;
+            t.last_idx <- fill_idx t t.l1 line;
+            fill t t.l2 line;
+            fill t t.l3 line;
+            Dram
+          end
+        in
+        Array.unsafe_set t.memo_lines h line;
+        Array.unsafe_set t.memo_idxs h t.last_idx;
+        level
+      end
     end
   end
 
@@ -219,9 +289,13 @@ let access_range t addr bytes =
 let flush t =
   t.last_line <- -1;
   t.last_idx <- -1;
+  Array.fill t.memo_lines 0 memo_slots (-1);
   Array.fill t.l1.tags 0 (Array.length t.l1.tags) (-1);
   Array.fill t.l2.tags 0 (Array.length t.l2.tags) (-1);
-  Array.fill t.l3.tags 0 (Array.length t.l3.tags) (-1)
+  Array.fill t.l3.tags 0 (Array.length t.l3.tags) (-1);
+  Array.fill t.l1.fill_counts 0 t.l1.sets 0;
+  Array.fill t.l2.fill_counts 0 t.l2.sets 0;
+  Array.fill t.l3.fill_counts 0 t.l3.sets 0
 
 let counters t =
   { l1_hits = t.c_l1; l2_hits = t.c_l2; l3_hits = t.c_l3; dram_accesses = t.c_dram }

@@ -83,7 +83,11 @@ let int t bound =
   next t;
   (* Mask to 62 bits so the value is always a nonnegative OCaml int. *)
   let r = ((t.shi land 0x3FFFFFFF) lsl 32) lor t.slo in
-  r mod bound
+  (* [r] is nonnegative, so for power-of-two bounds the mask computes
+     exactly [r mod bound] without the hardware divide — both hot
+     callers (driver-state lines, uniform flow populations) use
+     power-of-two bounds, and this sits on the per-packet path. *)
+  if bound land (bound - 1) = 0 then r land (bound - 1) else r mod bound
 
 let float t bound =
   next t;

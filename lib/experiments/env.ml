@@ -51,3 +51,19 @@ let maglev_nf t =
       Netstack.Filters.ttl_decrement;
       Netstack.Filters.maglev_gre mg ~vip;
     ] )
+
+let maglev_plain_nf ?(soa = true) t =
+  let mg = Netstack.Maglev.create ~clock:t.clock ~backends:maglev_backends () in
+  ( mg,
+    if soa then
+      [
+        Netstack.Filters.checksum_verify;
+        Netstack.Filters.ttl_decrement;
+        Netstack.Filters.maglev mg;
+      ]
+    else
+      [
+        Netstack.Filters.checksum_verify;
+        Netstack.Filters.ttl_decrement_bytes;
+        Netstack.Filters.maglev_bytes mg;
+      ] )

@@ -51,3 +51,11 @@ val maglev_nf : t -> Netstack.Maglev.t * Netstack.Stage.t list
 (** "The NetBricks implementation of the Maglev load balancer": header
     checksum verification, TTL decrement, then Maglev steering with
     GRE encapsulation to the chosen backend (the NSDI'16 data path). *)
+
+val maglev_plain_nf : ?soa:bool -> t -> Netstack.Maglev.t * Netstack.Stage.t list
+(** The header-only Maglev chain used by the E20 SoA ablation:
+    checksum verification, TTL decrement, Maglev steering as a plain
+    destination rewrite (no GRE shift, so every mutation fits the
+    header plane). [soa] (default true) selects the column stages;
+    [soa:false] selects the byte twins with identical stage names and
+    virtual charges. *)

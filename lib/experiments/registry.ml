@@ -149,6 +149,11 @@ let all =
           else Recover.print_wall (Recover.run_wall ()));
     };
     {
+      id = "soa";
+      description = "E20 (extension): structure-of-arrays header plane ablation";
+      run = (fun ~quick -> Soa_ablation.print (Soa_ablation.run ~quick ()));
+    };
+    {
       id = "ablations";
       description = "A1-A3: design-choice ablations";
       run =

@@ -3,8 +3,14 @@
 let no_flow =
   Flow.make ~src_ip:0l ~dst_ip:0l ~src_port:0 ~dst_port:0 ~protocol:Flow.Udp
 
+(* Placeholder for empty packet slots; never observable through the API
+   (guarded by [len]). A plain array with a sentinel instead of an
+   option array: wrapping every pushed packet in [Some] would allocate
+   a box per packet per rx refill on the fast path. *)
+let no_packet = { Packet.buf = Slab.of_bytes Bytes.empty; len = 0; addr = 0; slot = -1 }
+
 type t = {
-  mutable pkts : Packet.t option array;
+  mutable pkts : Packet.t array;
   mutable len : int;
   (* Flow-key sidecar: slot [i] caches the parse of packet [i]'s
      5-tuple — the packed immediate key in [keys] and the materialised
@@ -14,15 +20,50 @@ type t = {
      mutation; [flows.(i)] is then meaningless. *)
   keys : int array;
   flows : Flow.t array;
+  (* Header plane: structure-of-arrays columns holding the one parse of
+     each packet's L3/L4 header. [hp_state.(i)] is 0 when slot [i] has
+     no plane (never seeded, or invalidated by a byte-level rewrite);
+     otherwise it carries [hp_valid] plus the per-column dirty bits of
+     {!Packet} ([dirty_ttl] ...). Column stages read and write these
+     unboxed ints; wire bytes are only touched again at
+     {!materialize}. *)
+  hp_state : int array;
+  hp_src_ip : int array;
+  hp_dst_ip : int array;
+  hp_src_port : int array;  (* -1 when the protocol carries no ports *)
+  hp_dst_port : int array;
+  hp_proto : int array;
+  hp_ttl : int array;
+  hp_ip_len : int array;
+  hp_csum : int array;
+  (* Conservative count of slots whose plane carries dirty bits: bumped
+     on every clean->dirty transition, reset only by a full
+     {!materialize} or {!clear}. Never undercounts (compaction and
+     re-seeding may leave it high), so zero proves the batch clean and
+     lets every barrier of a read-only pipeline skip the scan. *)
+  mutable hp_dirty_n : int;
 }
+
+let hp_valid = 32
+let hp_dirty_mask = hp_valid - 1
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Batch.create: capacity must be positive";
   {
-    pkts = Array.make capacity None;
+    pkts = Array.make capacity no_packet;
     len = 0;
     keys = Array.make capacity Flow.Key.none;
     flows = Array.make capacity no_flow;
+    hp_state = Array.make capacity 0;
+    hp_src_ip = Array.make capacity 0;
+    hp_dst_ip = Array.make capacity 0;
+    hp_src_port = Array.make capacity (-1);
+    hp_dst_port = Array.make capacity (-1);
+    hp_proto = Array.make capacity 0;
+    hp_ttl = Array.make capacity 0;
+    hp_ip_len = Array.make capacity 0;
+    hp_csum = Array.make capacity 0;
+    hp_dirty_n = 0;
   }
 
 let length t = t.len
@@ -31,8 +72,9 @@ let is_empty t = t.len = 0
 
 let push t p =
   if t.len = Array.length t.pkts then invalid_arg "Batch.push: batch full";
-  t.pkts.(t.len) <- Some p;
+  t.pkts.(t.len) <- p;
   t.keys.(t.len) <- Flow.Key.none;
+  t.hp_state.(t.len) <- 0;
   t.len <- t.len + 1
 
 let of_list ps =
@@ -42,9 +84,7 @@ let of_list ps =
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Batch.get: out of bounds";
-  match t.pkts.(i) with
-  | Some p -> p
-  | None -> assert false
+  t.pkts.(i)
 
 (* --- Flow-key sidecar ------------------------------------------------ *)
 
@@ -54,6 +94,13 @@ let check_slot op t i =
 let seed_flow t i flow =
   check_slot "seed_flow" t i;
   t.keys.(i) <- Flow.Key.of_flow flow;
+  t.flows.(i) <- flow
+
+(* [seed_flow] with the key already in hand (the NIC's frame-template
+   cache stores it next to the frame), skipping the per-packet hash. *)
+let seed_flow_keyed t i flow key =
+  check_slot "seed_flow_keyed" t i;
+  t.keys.(i) <- key;
   t.flows.(i) <- flow
 
 let push_flow t p flow =
@@ -72,9 +119,26 @@ let flow_cached t i =
 let flow t i =
   check_slot "flow" t i;
   if Flow.Key.is_none t.keys.(i) then begin
-    let f = Packet.flow_of (get t i) in
-    t.keys.(i) <- Flow.Key.of_flow f;
-    t.flows.(i) <- f
+    (* Re-parse preference: a valid header plane IS the current header
+       (bytes may be stale under deferred writeback), so the tuple is
+       rebuilt from columns; only a plane-less slot reads wire bytes. *)
+    let st = t.hp_state.(i) in
+    if st <> 0 && t.hp_src_port.(i) >= 0 then begin
+      let f =
+        Flow.make
+          ~src_ip:(Int32.of_int t.hp_src_ip.(i))
+          ~dst_ip:(Int32.of_int t.hp_dst_ip.(i))
+          ~src_port:t.hp_src_port.(i) ~dst_port:t.hp_dst_port.(i)
+          ~protocol:(match t.hp_proto.(i) with 6 -> Flow.Tcp | _ -> Flow.Udp)
+      in
+      t.keys.(i) <- Flow.Key.of_flow f;
+      t.flows.(i) <- f
+    end
+    else begin
+      let f = Packet.flow_of (get t i) in
+      t.keys.(i) <- Flow.Key.of_flow f;
+      t.flows.(i) <- f
+    end
   end;
   t.flows.(i)
 
@@ -86,8 +150,209 @@ let flow_key t i =
 let blit_flow src i dst j =
   check_slot "blit_flow" src i;
   check_slot "blit_flow" dst j;
+  if src.hp_state.(i) land hp_dirty_mask <> 0 then
+    (* The copied plane carries deferred writes: keep the destination's
+       dirty count an upper bound so its barriers still scan. *)
+    dst.hp_dirty_n <- dst.hp_dirty_n + 1;
   dst.keys.(j) <- src.keys.(i);
-  dst.flows.(j) <- src.flows.(i)
+  dst.flows.(j) <- src.flows.(i);
+  dst.hp_state.(j) <- src.hp_state.(i);
+  dst.hp_src_ip.(j) <- src.hp_src_ip.(i);
+  dst.hp_dst_ip.(j) <- src.hp_dst_ip.(i);
+  dst.hp_src_port.(j) <- src.hp_src_port.(i);
+  dst.hp_dst_port.(j) <- src.hp_dst_port.(i);
+  dst.hp_proto.(j) <- src.hp_proto.(i);
+  dst.hp_ttl.(j) <- src.hp_ttl.(i);
+  dst.hp_ip_len.(j) <- src.hp_ip_len.(i);
+  dst.hp_csum.(j) <- src.hp_csum.(i)
+
+(* --- Header plane (SoA columns) -------------------------------------- *)
+
+(* Copy slot [i]'s plane columns down to slot [w] during compaction. *)
+let[@inline] hp_compact t i w =
+  t.hp_state.(w) <- t.hp_state.(i);
+  t.hp_src_ip.(w) <- t.hp_src_ip.(i);
+  t.hp_dst_ip.(w) <- t.hp_dst_ip.(i);
+  t.hp_src_port.(w) <- t.hp_src_port.(i);
+  t.hp_dst_port.(w) <- t.hp_dst_port.(i);
+  t.hp_proto.(w) <- t.hp_proto.(i);
+  t.hp_ttl.(w) <- t.hp_ttl.(i);
+  t.hp_ip_len.(w) <- t.hp_ip_len.(i);
+  t.hp_csum.(w) <- t.hp_csum.(i)
+
+let seed_hdr t i ~flow ~ttl ~ip_len ~csum =
+  check_slot "seed_hdr" t i;
+  t.hp_src_ip.(i) <- Int32.to_int flow.Flow.src_ip land 0xFFFFFFFF;
+  t.hp_dst_ip.(i) <- Int32.to_int flow.Flow.dst_ip land 0xFFFFFFFF;
+  t.hp_src_port.(i) <- flow.Flow.src_port;
+  t.hp_dst_port.(i) <- flow.Flow.dst_port;
+  t.hp_proto.(i) <- Flow.protocol_number flow.Flow.protocol;
+  t.hp_ttl.(i) <- ttl;
+  t.hp_ip_len.(i) <- ip_len;
+  t.hp_csum.(i) <- csum;
+  t.hp_state.(i) <- hp_valid
+
+let invalidate_hdr t i =
+  check_slot "invalidate_hdr" t i;
+  t.hp_state.(i) <- 0
+
+let hdr_valid t i =
+  check_slot "hdr_valid" t i;
+  t.hp_state.(i) <> 0
+
+let hdr_dirty t i =
+  check_slot "hdr_dirty" t i;
+  t.hp_state.(i) land hp_dirty_mask <> 0
+
+(* Lazy load for a plane-less slot: one parse from wire bytes. Raises
+   like the {!Packet} accessors on non-IPv4 slots; ports are recorded
+   as [-1] for protocols that carry none (GRE outer headers), making
+   the port columns raise exactly where {!Packet.src_port} would. *)
+let load_hdr t i =
+  let p = get t i in
+  let proto = Packet.protocol_number p in
+  t.hp_src_ip.(i) <- Packet.src_ip_int p;
+  t.hp_dst_ip.(i) <- Packet.dst_ip_int p;
+  t.hp_proto.(i) <- proto;
+  t.hp_ttl.(i) <- Packet.ttl p;
+  t.hp_ip_len.(i) <- Packet.ip_total_length p;
+  t.hp_csum.(i) <- Packet.stored_checksum p;
+  if (proto = 6 || proto = 17) && p.Packet.len >= Packet.eth_header_bytes + Packet.ipv4_header_bytes + 4
+  then begin
+    t.hp_src_port.(i) <- Packet.src_port p;
+    t.hp_dst_port.(i) <- Packet.dst_port p
+  end
+  else begin
+    t.hp_src_port.(i) <- -1;
+    t.hp_dst_port.(i) <- -1
+  end;
+  t.hp_state.(i) <- hp_valid
+
+let[@inline] ensure_hdr op t i =
+  check_slot op t i;
+  if t.hp_state.(i) = 0 then load_hdr t i
+
+(* Set dirty bit [bit] on slot [i], counting the clean->dirty
+   transition for {!materialize}'s skip test. *)
+let[@inline] mark_dirty t i bit =
+  let st = t.hp_state.(i) in
+  if st land hp_dirty_mask = 0 then t.hp_dirty_n <- t.hp_dirty_n + 1;
+  t.hp_state.(i) <- st lor bit
+
+let col_ttl t i =
+  ensure_hdr "col_ttl" t i;
+  t.hp_ttl.(i)
+
+let set_col_ttl t i v =
+  ensure_hdr "set_col_ttl" t i;
+  if v < 0 || v > 255 then invalid_arg "Batch.set_col_ttl";
+  t.hp_ttl.(i) <- v;
+  mark_dirty t i Packet.dirty_ttl
+
+let col_src_ip t i =
+  ensure_hdr "col_src_ip" t i;
+  t.hp_src_ip.(i)
+
+let set_col_src_ip t i v =
+  ensure_hdr "set_col_src_ip" t i;
+  t.hp_src_ip.(i) <- v land 0xFFFFFFFF;
+  mark_dirty t i Packet.dirty_src_ip
+
+let col_dst_ip t i =
+  ensure_hdr "col_dst_ip" t i;
+  t.hp_dst_ip.(i)
+
+let set_col_dst_ip t i v =
+  ensure_hdr "set_col_dst_ip" t i;
+  t.hp_dst_ip.(i) <- v land 0xFFFFFFFF;
+  mark_dirty t i Packet.dirty_dst_ip
+
+let port_col op v =
+  if v < 0 then invalid_arg ("Batch." ^ op ^ ": protocol carries no ports") else v
+
+let col_src_port t i =
+  ensure_hdr "col_src_port" t i;
+  port_col "col_src_port" t.hp_src_port.(i)
+
+let set_col_src_port t i v =
+  ensure_hdr "set_col_src_port" t i;
+  ignore (port_col "set_col_src_port" t.hp_src_port.(i));
+  if v < 0 || v > 0xffff then invalid_arg "Batch.set_col_src_port";
+  t.hp_src_port.(i) <- v;
+  mark_dirty t i Packet.dirty_src_port
+
+let col_dst_port t i =
+  ensure_hdr "col_dst_port" t i;
+  port_col "col_dst_port" t.hp_dst_port.(i)
+
+let set_col_dst_port t i v =
+  ensure_hdr "set_col_dst_port" t i;
+  ignore (port_col "set_col_dst_port" t.hp_dst_port.(i));
+  if v < 0 || v > 0xffff then invalid_arg "Batch.set_col_dst_port";
+  t.hp_dst_port.(i) <- v;
+  mark_dirty t i Packet.dirty_dst_port
+
+let col_proto t i =
+  ensure_hdr "col_proto" t i;
+  t.hp_proto.(i)
+
+let col_ip_len t i =
+  ensure_hdr "col_ip_len" t i;
+  t.hp_ip_len.(i)
+
+let materialize_slot t i =
+  check_slot "materialize_slot" t i;
+  let st = t.hp_state.(i) in
+  if st land hp_dirty_mask <> 0 then begin
+    let p = get t i in
+    t.hp_csum.(i) <-
+      Packet.apply_hdr p ~dirty:(st land hp_dirty_mask) ~ttl:t.hp_ttl.(i)
+        ~src_ip:t.hp_src_ip.(i) ~dst_ip:t.hp_dst_ip.(i)
+        ~src_port:t.hp_src_port.(i) ~dst_port:t.hp_dst_port.(i);
+    t.hp_state.(i) <- hp_valid
+  end
+
+let materialize t =
+  (* [hp_dirty_n] is a conservative upper bound (compaction may drop
+     dirty slots without decrementing), so zero means provably clean —
+     the common case at every barrier of a read-only pipeline. *)
+  if t.hp_dirty_n <> 0 then begin
+    for i = 0 to t.len - 1 do
+      if Array.unsafe_get t.hp_state i land hp_dirty_mask <> 0 then materialize_slot t i
+    done;
+    t.hp_dirty_n <- 0
+  end
+
+let hdr_consistent t i =
+  check_slot "hdr_consistent" t i;
+  let st = t.hp_state.(i) in
+  if st = 0 || st land hp_dirty_mask <> 0 then
+    (* No plane, or writes still deferred: nothing claims the bytes are
+       current, so there is nothing to audit. *)
+    true
+  else begin
+    let p = get t i in
+    Packet.protocol_number p = t.hp_proto.(i)
+    && Packet.ttl p = t.hp_ttl.(i)
+    && Packet.src_ip_int p = t.hp_src_ip.(i)
+    && Packet.dst_ip_int p = t.hp_dst_ip.(i)
+    && Packet.ip_total_length p = t.hp_ip_len.(i)
+    && Packet.stored_checksum p = t.hp_csum.(i)
+    && (t.hp_src_port.(i) < 0
+        || (Packet.src_port p = t.hp_src_port.(i) && Packet.dst_port p = t.hp_dst_port.(i)))
+  end
+
+(* Forgetful-rewriter harness hook: write a column WITHOUT its dirty
+   bit, simulating a buggy column stage. Only for regression tests of
+   the {!hdr_consistent} audit. *)
+let poke_col_for_test t i col =
+  ensure_hdr "poke_col_for_test" t i;
+  match col with
+  | `Ttl v -> t.hp_ttl.(i) <- v
+  | `Src_ip v -> t.hp_src_ip.(i) <- v land 0xFFFFFFFF
+  | `Dst_ip v -> t.hp_dst_ip.(i) <- v land 0xFFFFFFFF
+  | `Src_port v -> t.hp_src_port.(i) <- v
+  | `Dst_port v -> t.hp_dst_port.(i) <- v
 
 (* --- Traversal ------------------------------------------------------- *)
 
@@ -117,16 +382,20 @@ let filteri_in_place t keep =
   for i = 0 to t.len - 1 do
     let p = get t i in
     if keep i p then begin
-      t.pkts.(!w) <- Some p;
-      t.keys.(!w) <- t.keys.(i);
-      t.flows.(!w) <- t.flows.(i);
+      if !w <> i then begin
+        t.pkts.(!w) <- t.pkts.(i);
+        t.keys.(!w) <- t.keys.(i);
+        t.flows.(!w) <- t.flows.(i);
+        hp_compact t i !w
+      end;
       incr w
     end
     else dropped := p :: !dropped
   done;
   for i = !w to t.len - 1 do
-    t.pkts.(i) <- None;
-    t.keys.(i) <- Flow.Key.none
+    t.pkts.(i) <- no_packet;
+    t.keys.(i) <- Flow.Key.none;
+    t.hp_state.(i) <- 0
   done;
   t.len <- !w;
   List.rev !dropped
@@ -143,9 +412,16 @@ let sieve t keep ~dropped =
   for i = 0 to t.len - 1 do
     let p = get t i in
     if keep i p then begin
-      t.pkts.(!w) <- Some p;
-      t.keys.(!w) <- t.keys.(i);
-      t.flows.(!w) <- t.flows.(i);
+      (* Until the first drop [w = i] and the slot is already in place:
+         the pass stores (and allocates) nothing — the common case for
+         a filter that keeps the whole batch. Moves reuse the existing
+         slot's own reference rather than re-storing it. *)
+      if !w <> i then begin
+        t.pkts.(!w) <- t.pkts.(i);
+        t.keys.(!w) <- t.keys.(i);
+        t.flows.(!w) <- t.flows.(i);
+        hp_compact t i !w
+      end;
       incr w
     end
     else begin
@@ -154,25 +430,63 @@ let sieve t keep ~dropped =
     end
   done;
   for i = !w to t.len - 1 do
-    t.pkts.(i) <- None;
-    t.keys.(i) <- Flow.Key.none
+    t.pkts.(i) <- no_packet;
+    t.keys.(i) <- Flow.Key.none;
+    t.hp_state.(i) <- 0
+  done;
+  t.len <- !w;
+  !d
+
+(* [sieve] with the filter-kernel calling convention inlined: the
+   pipeline's filter pass would otherwise wrap the kernel in a
+   two-argument closure, paying a second unknown-function trampoline
+   per packet on top of the kernel's own. *)
+let sieve_kernel t keep env ~dropped =
+  let w = ref 0 in
+  let d = ref 0 in
+  for i = 0 to t.len - 1 do
+    let p = get t i in
+    if keep env t i p then begin
+      if !w <> i then begin
+        t.pkts.(!w) <- t.pkts.(i);
+        t.keys.(!w) <- t.keys.(i);
+        t.flows.(!w) <- t.flows.(i);
+        hp_compact t i !w
+      end;
+      incr w
+    end
+    else begin
+      dropped.(!d) <- p;
+      incr d
+    end
+  done;
+  for i = !w to t.len - 1 do
+    t.pkts.(i) <- no_packet;
+    t.keys.(i) <- Flow.Key.none;
+    t.hp_state.(i) <- 0
   done;
   t.len <- !w;
   !d
 
 let clear t =
   for i = 0 to t.len - 1 do
-    t.pkts.(i) <- None;
-    t.keys.(i) <- Flow.Key.none
+    t.pkts.(i) <- no_packet;
+    t.keys.(i) <- Flow.Key.none;
+    t.hp_state.(i) <- 0
   done;
+  t.hp_dirty_n <- 0;
   t.len <- 0
 
 let take_all t =
+  (* Ownership of the packets leaves the batch — flush any deferred
+     column writes so the bytes handed out are canonical. *)
+  materialize t;
   let ps = ref [] in
   for i = t.len - 1 downto 0 do
     ps := get t i :: !ps;
-    t.pkts.(i) <- None;
-    t.keys.(i) <- Flow.Key.none
+    t.pkts.(i) <- no_packet;
+    t.keys.(i) <- Flow.Key.none;
+    t.hp_state.(i) <- 0
   done;
   t.len <- 0;
   !ps

@@ -51,15 +51,91 @@ val seed_flow : t -> int -> Flow.t -> unit
 (** Install a known 5-tuple for slot [i] (NIC rx, packet rewriters that
     know the post-rewrite tuple). *)
 
+val seed_flow_keyed : t -> int -> Flow.t -> Flow.Key.t -> unit
+(** {!seed_flow} with the packed key already computed — the caller
+    vouches that [key = Flow.Key.of_flow flow]. *)
+
 val invalidate_flow : t -> int -> unit
 (** Mark slot [i]'s cache stale after a header mutation. *)
 
 val flow_cached : t -> int -> bool
 
 val blit_flow : t -> int -> t -> int -> unit
-(** [blit_flow src i dst j] copies slot [i]'s cache (valid or not) to
-    [dst]'s slot [j] — for deep-copying pipelines whose copies are
-    byte-identical. *)
+(** [blit_flow src i dst j] copies slot [i]'s sidecar state — flow
+    cache and header plane, valid or not — to [dst]'s slot [j], for
+    deep-copying pipelines whose copies are byte-identical. *)
+
+(** {2 Header plane (SoA columns)}
+
+    Structure-of-arrays view of each packet's L3/L4 header: parsed
+    once (seeded by the NIC at rx via {!seed_hdr}, or lazily from wire
+    bytes on first column access), mutated through the [set_col_*]
+    writers which record a per-column dirty bit, and written back to
+    wire bytes by a single {!materialize} pass with one accumulated
+    RFC 1624 checksum fold per packet ({!Packet.apply_hdr}).
+
+    Contract for column ([Stage.Cols]) stages: read and write header
+    fields only through these columns (and the flow sidecar); never
+    touch wire bytes. The pipeline materializes the batch before any
+    byte-reading stage, flowcache guard compare or exit — see
+    DESIGN.md §15. A stage that mutates header bytes directly
+    (GRE encap/decap, flowcache replay) must call {!invalidate_hdr};
+    the next column access re-parses. *)
+
+val seed_hdr : t -> int -> flow:Flow.t -> ttl:int -> ip_len:int -> csum:int -> unit
+(** Install the known header columns for slot [i] without reading
+    bytes — the NIC rx path knows every field it crafted. [csum] is
+    the checksum word as stored in the header. *)
+
+val invalidate_hdr : t -> int -> unit
+(** Drop slot [i]'s plane after a byte-level header mutation. *)
+
+val hdr_valid : t -> int -> bool
+val hdr_dirty : t -> int -> bool
+
+val col_ttl : t -> int -> int
+val col_src_ip : t -> int -> int
+val col_dst_ip : t -> int -> int
+val col_src_port : t -> int -> int
+val col_dst_port : t -> int -> int
+val col_proto : t -> int -> int
+val col_ip_len : t -> int -> int
+(** Column readers; lazily parse a plane-less slot. The port columns
+    raise [Invalid_argument] for protocols that carry no ports, like
+    {!Packet.src_port}. *)
+
+val set_col_ttl : t -> int -> int -> unit
+val set_col_src_ip : t -> int -> int -> unit
+val set_col_dst_ip : t -> int -> int -> unit
+val set_col_src_port : t -> int -> int -> unit
+val set_col_dst_port : t -> int -> int -> unit
+(** Column writers: record the new value and its dirty bit; wire bytes
+    are untouched until {!materialize}. Setters validate ranges like
+    the corresponding {!Packet} setters. *)
+
+val materialize_slot : t -> int -> unit
+val materialize : t -> unit
+(** Write every dirty column back to wire bytes — one pass, one
+    RFC 1624 checksum fold per packet — and mark the plane clean.
+    A no-op on clean slots; never charges the virtual clock (the
+    column stages already charged the writes they deferred). *)
+
+val hdr_consistent : t -> int -> bool
+(** Audit hook: a slot whose plane claims to be clean must agree with
+    a fresh parse of its wire bytes. Dirty or plane-less slots pass
+    vacuously. *)
+
+(**/**)
+
+val poke_col_for_test :
+  t ->
+  int ->
+  [ `Ttl of int | `Src_ip of int | `Dst_ip of int | `Src_port of int | `Dst_port of int ] ->
+  unit
+(** Write a column {e without} its dirty bit — the forgetful-rewriter
+    fault the {!hdr_consistent} audit must catch. Tests only. *)
+
+(**/**)
 
 val filter_in_place : t -> (Packet.t -> bool) -> Packet.t list
 (** Keep packets satisfying the predicate (preserving order); returns
@@ -77,12 +153,19 @@ val sieve : t -> (int -> Packet.t -> bool) -> dropped:Packet.t array -> int
     fused pipeline's filter passes run through this with one reusable
     scratch array per pipeline. *)
 
+val sieve_kernel :
+  t -> ('e -> t -> int -> Packet.t -> bool) -> 'e -> dropped:Packet.t array -> int
+(** {!sieve} with the filter-kernel calling convention applied
+    directly ([keep env t i p]), so the pipeline's filter pass does
+    not pay a wrapper-closure trampoline per packet. *)
+
 val clear : t -> unit
 (** Empty the batch without returning the packets (the caller already
     released or transferred the buffers). *)
 
 val take_all : t -> Packet.t list
-(** Empty the batch, returning its packets. *)
+(** Empty the batch, returning its packets. Materializes any deferred
+    column writes first — the bytes handed out are canonical. *)
 
 val packets : t -> Packet.t list
 (** Non-destructive snapshot, oldest first. *)

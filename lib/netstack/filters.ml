@@ -1,7 +1,26 @@
-let null = Stage.rewrite ~name:"null" (fun _engine _batch _i _p -> ())
+let null = Stage.rewrite ~name:"null" ~access:Stage.Cols (fun _engine _batch _i _p -> ())
+
+(* The column ([Stage.Cols]) variants below issue charge/touch
+   sequences identical to their byte twins: the virtual clock models
+   what the hardware does to the header either way, while the host
+   defers the actual byte stores to one {!Batch.materialize} pass. *)
 
 let ttl_decrement =
-  Stage.filter ~name:"ttl-dec" (fun engine _batch _i p ->
+  Stage.filter ~name:"ttl-dec" ~access:Stage.Cols (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:Packet.ipv4_header_bytes;
+      Cycles.Clock.charge (Engine.clock engine) (Alu 4);
+      let ttl = Batch.col_ttl batch i in
+      if ttl <= 1 then false
+      else begin
+        Batch.set_col_ttl batch i (ttl - 1);
+        (* Covers the TTL and checksum words, like the byte twin. *)
+        Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 8) ~bytes:4;
+        true
+      end)
+
+let ttl_decrement_bytes =
+  Stage.filter ~name:"ttl-dec" (fun engine batch i p ->
       Engine.touch_packet engine p ~off:Packet.eth_header_bytes
         ~bytes:Packet.ipv4_header_bytes;
       Cycles.Clock.charge (Engine.clock engine) (Alu 4);
@@ -9,10 +28,14 @@ let ttl_decrement =
       if ttl <= 1 then false
       else begin
         Packet.set_ttl p (ttl - 1);
+        Batch.invalidate_hdr batch i;
         Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 8) ~bytes:4;
         true
       end)
 
+(* Deliberately [Bytes]: the stage's whole point is to fold RFC 1071
+   over the words as they sit on the wire, so it doubles as a natural
+   materialization barrier (and negative control) in column chains. *)
 let checksum_verify =
   Stage.filter ~name:"csum" (fun engine _batch _i p ->
       Engine.touch_packet engine p ~off:Packet.eth_header_bytes
@@ -24,7 +47,7 @@ let checksum_verify =
 let backend_ip_int backend = 0x0A010000 lor (backend land 0xffff)
 
 let maglev mg =
-  Stage.rewrite ~name:"maglev"
+  Stage.rewrite ~name:"maglev" ~access:Stage.Cols
     ~hooks:[ Maglev.on_change mg ]
     (fun engine batch i p ->
       (* The 5-tuple comes from the batch sidecar (parsed once at
@@ -35,7 +58,20 @@ let maglev mg =
       let flow = Batch.flow batch i in
       let backend = Maglev.lookup_keyed mg flow ~key:(Batch.flow_key batch i) in
       (* Rewrite the destination to the chosen backend. *)
+      Batch.set_col_dst_ip batch i (backend_ip_int backend);
+      Batch.invalidate_flow batch i;
+      Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 16) ~bytes:4)
+
+let maglev_bytes mg =
+  Stage.rewrite ~name:"maglev"
+    ~hooks:[ Maglev.on_change mg ]
+    (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:(Packet.ipv4_header_bytes + 4);
+      let flow = Batch.flow batch i in
+      let backend = Maglev.lookup_keyed mg flow ~key:(Batch.flow_key batch i) in
       Packet.set_dst_ip_int p (backend_ip_int backend);
+      Batch.invalidate_hdr batch i;
       Batch.invalidate_flow batch i;
       Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 16) ~bytes:4)
 
@@ -51,6 +87,7 @@ let maglev_gre mg ~vip =
       | () ->
         (* The outer header is now the packet's 5-tuple source. *)
         Batch.invalidate_flow batch i;
+        Batch.invalidate_hdr batch i;
         (* The shift + new outer header touch the whole frame. *)
         Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
         Cycles.Clock.charge (Engine.clock engine) (Copy Packet.gre_overhead_bytes);
@@ -65,13 +102,14 @@ let gre_decap =
         Packet.decap_gre p;
         (* The inner packet's tuple is live again. *)
         Batch.invalidate_flow batch i;
+        Batch.invalidate_hdr batch i;
         Engine.touch_packet_write engine p ~off:0 ~bytes:p.Packet.len;
         true
       end
       else false)
 
 let firewall ~name verdict =
-  Stage.filter ~name (fun engine batch i p ->
+  Stage.filter ~name ~access:Stage.Cols (fun engine batch i p ->
       Engine.touch_packet engine p ~off:Packet.eth_header_bytes
         ~bytes:(Packet.ipv4_header_bytes + 4);
       Cycles.Clock.charge (Engine.clock engine) (Alu 6);

@@ -13,17 +13,28 @@ val null : Stage.t
 val ttl_decrement : Stage.t
 (** Per packet: read the IPv4 header, decrement TTL (incremental
     checksum fix), drop the packet when TTL hits zero (releasing its
-    buffer). *)
+    buffer). A column ([Stage.Cols]) stage: the decrement lands in the
+    batch's header plane and the checksum fix is folded into the next
+    {!Batch.materialize}. *)
+
+val ttl_decrement_bytes : Stage.t
+(** Byte twin of {!ttl_decrement} (same name, same virtual charges,
+    in-place byte stores) — the SoA ablation baseline. *)
 
 val checksum_verify : Stage.t
 (** Per packet: validate the IPv4 header checksum; drops corrupt
-    packets. *)
+    packets. Deliberately a [Stage.Bytes] stage — it folds over the
+    words as stored on the wire, so it also acts as a materialization
+    barrier in column chains. *)
 
 val maglev : Maglev.t -> Stage.t
 (** Per packet: extract the 5-tuple, steer through the Maglev tables,
     rewrite the destination IP to the chosen backend
     (10.1.0.[backend]). Declares [Maglev.on_change] as its
-    invalidation hook. *)
+    invalidation hook. A column stage like {!ttl_decrement}. *)
+
+val maglev_bytes : Maglev.t -> Stage.t
+(** Byte twin of {!maglev} — the SoA ablation baseline. *)
 
 val maglev_gre : Maglev.t -> vip:int -> Stage.t
 (** The full NSDI'16 forwarding path: steer, then encapsulate the

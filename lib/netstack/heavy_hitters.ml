@@ -77,7 +77,7 @@ let equal a b =
        a.entries true
 
 let stage t =
-  Stage.rewrite ~name:"flow-stats" (fun engine batch i p ->
+  Stage.rewrite ~name:"flow-stats" ~access:Stage.Cols (fun engine batch i p ->
       Engine.touch_packet engine p ~off:Packet.eth_header_bytes
         ~bytes:(Packet.ipv4_header_bytes + 4);
       Cycles.Clock.charge (Engine.clock engine) (Alu 6);

@@ -90,6 +90,25 @@ let flush t =
   n
 
 let stage t =
+  Stage.filter ~name:"snat" ~access:Stage.Cols
+    ~hooks:[ on_mutate t ]
+    (fun engine batch i p ->
+      Engine.touch_packet engine p ~off:Packet.eth_header_bytes
+        ~bytes:(Packet.ipv4_header_bytes + 4);
+      let flow = Batch.flow batch i in
+      match translate t flow with
+      | None ->
+        t.drops <- t.drops + 1;
+        false
+      | Some (ip, port) ->
+        Batch.set_col_src_ip batch i ip;
+        Batch.set_col_src_port batch i port;
+        (* The source half of the tuple just changed. *)
+        Batch.invalidate_flow batch i;
+        Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 12) ~bytes:8;
+        true)
+
+let stage_bytes t =
   Stage.filter ~name:"snat"
     ~hooks:[ on_mutate t ]
     (fun engine batch i p ->
@@ -103,7 +122,7 @@ let stage t =
       | Some (ip, port) ->
         Packet.set_src_ip_int p ip;
         Packet.set_src_port p port;
-        (* The source half of the tuple just changed. *)
+        Batch.invalidate_hdr batch i;
         Batch.invalidate_flow batch i;
         Engine.touch_packet_write engine p ~off:(Packet.eth_header_bytes + 12) ~bytes:8;
         true)

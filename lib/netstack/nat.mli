@@ -19,7 +19,13 @@ val external_ip : t -> int
 val stage : t -> Stage.t
 (** The pipeline stage: a filter kernel rewriting every packet's
     source (IP, port), dropping packets when the port pool is
-    exhausted. Declares {!on_mutate} as its invalidation hook. *)
+    exhausted. Declares {!on_mutate} as its invalidation hook. A
+    column ([Stage.Cols]) stage: rewrites land in the batch's header
+    plane and reach wire bytes at the next {!Batch.materialize}. *)
+
+val stage_bytes : t -> Stage.t
+(** Byte twin of {!stage} (same name, same virtual charges, in-place
+    byte stores) — the SoA ablation baseline. *)
 
 val translate : t -> Flow.t -> (int * int) option
 (** The external (ip, port) an internal flow is (or would newly be)

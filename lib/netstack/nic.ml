@@ -12,7 +12,22 @@ type t = {
   tele : tele option;
   mutable rx_packets : int;
   mutable tx_packets : int;
+  (* Frame-template cache: a crafted frame is a pure function of
+     (flow, payload_bytes, ttl=64), and [payload_bytes] is fixed per
+     generator, so per flow the frame is crafted once and replayed as
+     a blit. Direct-mapped; the guard is *physical* equality on the
+     generator's interned flow records — [Flow.Key] is a lossy hash
+     and must not be trusted as an identity. Purely a host-side
+     speedup: the bytes are the ones craft itself produced, and the
+     virtual charges below are identical on both paths. *)
+  tmpl_flows : Flow.t array;
+  tmpl_frames : string array;
+  tmpl_csum : int array;
+  tmpl_keys : Flow.Key.t array;
 }
+
+let tmpl_slots = 8192
+let tmpl_mask = tmpl_slots - 1
 
 (* Per-packet driver bookkeeping (flow stats, mempool per-lcore cache,
    prefetch of the next descriptor) lands somewhere in a few hundred
@@ -33,6 +48,9 @@ let create ?(driver_seed = 0xD91DL) ~engine ~traffic () =
           tl_tx = Telemetry.Scope.counter scope "tx_packets";
         }
   in
+  let dummy_flow =
+    Flow.make ~src_ip:0l ~dst_ip:0l ~src_port:0 ~dst_port:0 ~protocol:Flow.Udp
+  in
   {
     engine;
     traffic;
@@ -42,13 +60,38 @@ let create ?(driver_seed = 0xD91DL) ~engine ~traffic () =
     tele;
     rx_packets = 0;
     tx_packets = 0;
+    tmpl_flows = Array.make tmpl_slots dummy_flow;
+    tmpl_frames = Array.make tmpl_slots "";
+    tmpl_csum = Array.make tmpl_slots 0;
+    tmpl_keys = Array.make tmpl_slots Flow.Key.none;
   }
 
-let craft_packet_for t (p : Packet.t) (flow : Flow.t) =
-  let payload_bytes = Traffic.payload_bytes t.traffic in
-  (match flow.Flow.protocol with
-  | Flow.Udp -> Packet.craft_udp p ~flow ~payload_bytes ~ttl:64
-  | Flow.Tcp -> Packet.craft_tcp p ~flow ~payload_bytes ~ttl:64);
+(* Craft the frame for [flow] into [slot] of [batch] and seed the
+   batch's flow-key sidecar and header plane, so no stage ever
+   re-parses the headers. The template cache stores the packed flow
+   key and stored checksum next to the frame, so the hot path neither
+   hashes the 5-tuple nor reads header bytes back. *)
+let rx_seed_packet t batch slot (flow : Flow.t) =
+  let p = Batch.get batch slot in
+  let h =
+    (Int32.to_int flow.Flow.src_ip lxor (flow.Flow.src_port lsl 16)) land tmpl_mask
+  in
+  (if Array.unsafe_get t.tmpl_flows h == flow then begin
+     let frame = Array.unsafe_get t.tmpl_frames h in
+     let len = String.length frame in
+     Slab.blit_string frame 0 p.Packet.buf 0 len;
+     p.Packet.len <- len
+   end
+   else begin
+     let payload_bytes = Traffic.payload_bytes t.traffic in
+     (match flow.Flow.protocol with
+     | Flow.Udp -> Packet.craft_udp p ~flow ~payload_bytes ~ttl:64
+     | Flow.Tcp -> Packet.craft_tcp p ~flow ~payload_bytes ~ttl:64);
+     Array.unsafe_set t.tmpl_flows h flow;
+     Array.unsafe_set t.tmpl_frames h (Packet.to_string p);
+     Array.unsafe_set t.tmpl_csum h (Packet.stored_checksum p);
+     Array.unsafe_set t.tmpl_keys h (Flow.Key.of_flow flow)
+   end);
   (* The NIC DMA'd the frame: its lines are now in cache (charged as a
      header+payload write by the driver model), and the driver
      initialised the mbuf metadata that lives in the buffer's tail
@@ -60,13 +103,21 @@ let craft_packet_for t (p : Packet.t) (flow : Flow.t) =
   Cycles.Clock.touch (Engine.clock t.engine)
     (t.driver_state_addr + (line * 64))
     ~bytes:8;
-  Cycles.Clock.charge (Engine.clock t.engine) (Alu 8)
+  Cycles.Clock.charge (Engine.clock t.engine) (Alu 8);
+  Batch.seed_flow_keyed batch slot flow (Array.unsafe_get t.tmpl_keys h);
+  Batch.seed_hdr batch slot ~flow ~ttl:64
+    ~ip_len:(p.Packet.len - Packet.eth_header_bytes)
+    ~csum:(Array.unsafe_get t.tmpl_csum h)
 
-let rx_batch t n =
-  if n <= 0 then invalid_arg "Nic.rx_batch: batch size must be positive";
+(* Refill [batch] (cleared first) with up to [n] fresh arrivals:
+   {!rx_batch} without the per-call [Batch.create], for drivers that
+   recycle one batch across the serve loop. *)
+let rx_batch_into t batch n =
+  if n <= 0 then invalid_arg "Nic.rx_batch_into: batch size must be positive";
+  if n > Batch.capacity batch then invalid_arg "Nic.rx_batch_into: batch too small";
   let clock = Engine.clock t.engine in
   let pool = Engine.pool t.engine in
-  let batch = Batch.create ~capacity:n in
+  Batch.clear batch;
   (try
      for i = 0 to n - 1 do
        (* Read the rx descriptor ring entry. *)
@@ -76,16 +127,17 @@ let rx_batch t n =
        if not (Mempool.alloc_into pool batch) then raise Exit;
        let slot = Batch.length batch - 1 in
        let flow = Traffic.next_flow t.traffic in
-       craft_packet_for t (Batch.get batch slot) flow;
-       (* The driver crafted the packet for [flow]: seed the batch's
-          flow-key sidecar so no stage ever re-parses the headers. *)
-       Batch.seed_flow batch slot flow;
+       rx_seed_packet t batch slot flow;
        t.rx_packets <- t.rx_packets + 1
      done
    with Exit -> ());
   (match t.tele with
   | Some tl -> Telemetry.Counter.add tl.tl_rx (Batch.length batch)
-  | None -> ());
+  | None -> ())
+
+let rx_batch t n =
+  let batch = Batch.create ~capacity:n in
+  rx_batch_into t batch n;
   batch
 
 let rx_batch_filtered t n ~keep =
@@ -107,8 +159,7 @@ let rx_batch_filtered t n ~keep =
            ~bytes:16;
          if not (Mempool.alloc_into pool batch) then raise Exit;
          let slot = Batch.length batch - 1 in
-         craft_packet_for t (Batch.get batch slot) flow;
-         Batch.seed_flow batch slot flow;
+         rx_seed_packet t batch slot flow;
          t.rx_packets <- t.rx_packets + 1
        end
      done
@@ -124,6 +175,9 @@ let free_packets t ps =
 let drop_batch t batch = Mempool.free_batch (Engine.pool t.engine) batch
 
 let tx_batch t batch =
+  (* The wire is a byte reader: flush any deferred column writes so the
+     frames that leave are canonical. *)
+  Batch.materialize batch;
   let clock = Engine.clock t.engine in
   let pool = Engine.pool t.engine in
   let mbuf_off = Mempool.buf_bytes pool - 128 in

@@ -21,6 +21,12 @@ val rx_batch : t -> int -> Batch.t
     batch is seeded: the driver knows the 5-tuple it crafted for, so
     the headers are never parsed again downstream. *)
 
+val rx_batch_into : t -> Batch.t -> int -> unit
+(** [rx_batch_into t batch n] is {!rx_batch} into a caller-owned batch
+    (cleared first — hand in an empty one or its packets leak): the
+    serve loop recycles one batch instead of allocating per call.
+    Raises [Invalid_argument] if [n] exceeds the batch's capacity. *)
+
 val rx_batch_filtered : t -> int -> keep:(Flow.t -> bool) -> Batch.t
 (** [rx_batch_filtered t n ~keep] draws exactly [n] arrivals from the
     generator but crafts (and charges) only those whose flow satisfies

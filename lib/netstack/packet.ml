@@ -41,20 +41,15 @@ let check_ipv4 t =
   if vihl land 0xf <> 5 then invalid_arg "Packet: IPv4 options unsupported"
 
 (* RFC 1071 checksum of the 20-byte header, with the checksum field
-   itself treated as zero: unrolled over the nine live 16-bit words
-   (word 5 is the checksum field). The raw sum is at most 9 * 0xffff,
-   so two fold steps always clear the carries. *)
+   itself treated as zero: one contiguous pass over all ten words with
+   the checksum word (word 5) subtracted back out — arithmetically
+   identical to summing the nine live words, and the contiguous window
+   lets {!Slab.sum_be_words} bounds-check once and skip the per-word
+   backing dispatch. The raw sum is at most 9 * 0xffff, so two fold
+   steps always clear the carries. *)
 let ipv4_checksum_compute t =
   let b = t.buf in
-  let sum =
-    get_u16 b ip_off + get_u16 b (ip_off + 2) + get_u16 b (ip_off + 4)
-    + get_u16 b (ip_off + 6)
-    + get_u16 b (ip_off + 8)
-    + get_u16 b (ip_off + 12)
-    + get_u16 b (ip_off + 14)
-    + get_u16 b (ip_off + 16)
-    + get_u16 b (ip_off + 18)
-  in
+  let sum = Slab.sum_be_words b ip_off ~words:10 - get_u16 b (ip_off + 10) in
   let sum = (sum land 0xffff) + (sum lsr 16) in
   let sum = (sum land 0xffff) + (sum lsr 16) in
   lnot sum land 0xffff
@@ -210,6 +205,10 @@ let ttl t =
   check_ipv4 t;
   get_u8 t.buf (ip_off + 8)
 
+let stored_checksum t =
+  check_ipv4 t;
+  get_u16 t.buf (ip_off + 10)
+
 (* RFC 1624 incremental checksum update for a 16-bit word change. The
    sum of three 16-bit quantities carries at most twice. *)
 let update_checksum_word t ~old_word ~new_word =
@@ -289,6 +288,79 @@ let read_payload_byte t i =
   let off = payload_offset t + i in
   if i < 0 || off >= t.len then invalid_arg "Packet.read_payload_byte: out of bounds";
   get_u8 t.buf off
+
+(* --- Deferred header writeback (SoA column plane) -------------------- *)
+
+(* Per-column dirty bits, shared with the {!Batch} header plane. *)
+let dirty_ttl = 1
+let dirty_src_ip = 2
+let dirty_dst_ip = 4
+let dirty_src_port = 8
+let dirty_dst_port = 16
+let dirty_ip_words = dirty_ttl lor dirty_src_ip lor dirty_dst_ip
+
+(* One-pass materialization of deferred column writes: each dirty IPv4
+   header word is written once and its RFC 1624 delta ([~old + new])
+   accumulated in a register; the checksum field is then read and
+   stored exactly once. Bit-identical to a chain of
+   {!update_checksum_word} calls in any order: every fold chain over
+   the same deltas computes [(total - 1) mod 0xffff + 1] (or 0 when the
+   total is literally zero), so the store-per-stage path and this
+   accumulate-then-store path agree on every byte. Port writes are
+   plain L4 stores — the IPv4 checksum does not cover them, matching
+   {!set_src_port}/{!set_dst_port}. Returns the checksum word now
+   stored in the header, so the caller can refresh its own cached copy
+   without a second read. *)
+let apply_hdr t ~dirty ~ttl ~src_ip ~dst_ip ~src_port ~dst_port =
+  check_ipv4 t;
+  let b = t.buf in
+  let delta = ref 0 in
+  if dirty land dirty_ttl <> 0 then begin
+    let old_word = get_u16 b (ip_off + 8) in
+    let new_word = ((ttl land 0xff) lsl 8) lor (old_word land 0xff) in
+    set_u16 b (ip_off + 8) new_word;
+    delta := !delta + (lnot old_word land 0xffff) + new_word
+  end;
+  if dirty land dirty_src_ip <> 0 then begin
+    let old_hi = get_u16 b (ip_off + 12) and old_lo = get_u16 b (ip_off + 14) in
+    set_u32_int b (ip_off + 12) src_ip;
+    delta :=
+      !delta
+      + (lnot old_hi land 0xffff)
+      + ((src_ip lsr 16) land 0xffff)
+      + (lnot old_lo land 0xffff)
+      + (src_ip land 0xffff)
+  end;
+  if dirty land dirty_dst_ip <> 0 then begin
+    let old_hi = get_u16 b (ip_off + 16) and old_lo = get_u16 b (ip_off + 18) in
+    set_u32_int b (ip_off + 16) dst_ip;
+    delta :=
+      !delta
+      + (lnot old_hi land 0xffff)
+      + ((dst_ip lsr 16) land 0xffff)
+      + (lnot old_lo land 0xffff)
+      + (dst_ip land 0xffff)
+  end;
+  let csum =
+    if dirty land dirty_ip_words <> 0 then begin
+      (* delta <= 5 words * 2 * 0xffff, so with the checksum complement
+         added the raw sum stays below 0xB0000: two folds clear it. *)
+      let csum = get_u16 b (ip_off + 10) in
+      let sum = (lnot csum land 0xffff) + !delta in
+      let sum = (sum land 0xffff) + (sum lsr 16) in
+      let sum = (sum land 0xffff) + (sum lsr 16) in
+      let csum' = lnot sum land 0xffff in
+      set_u16 b (ip_off + 10) csum';
+      csum'
+    end
+    else get_u16 b (ip_off + 10)
+  in
+  if dirty land (dirty_src_port lor dirty_dst_port) <> 0 then begin
+    if t.len < l4_off + 4 then invalid_arg "Packet.apply_hdr: truncated L4 header";
+    if dirty land dirty_src_port <> 0 then set_u16 b l4_off src_port;
+    if dirty land dirty_dst_port <> 0 then set_u16 b (l4_off + 2) dst_port
+  end;
+  csum
 
 (* --- GRE encapsulation ----------------------------------------------- *)
 

@@ -93,6 +93,43 @@ val read_payload_byte : t -> int -> int
 
 val ip_total_length : t -> int
 
+val protocol_number : t -> int
+(** The raw IPv4 protocol byte (6, 17, 47, ...); raises only on
+    non-IPv4/truncated packets. *)
+
+val stored_checksum : t -> int
+(** The checksum word as currently stored in the header (no
+    verification) — what the {!Batch} header plane snapshots at seed
+    time. *)
+
+(** {2 Deferred header writeback (SoA column plane)}
+
+    The {!Batch} header plane defers column writes and materializes
+    them through {!apply_hdr}: every dirty IPv4 header word is written
+    once and the checksum updated with a single accumulated RFC 1624
+    fold — bit-identical to the chain of incremental updates the
+    per-stage setters would have performed, in any order. The [dirty_*]
+    bits select which of the field arguments are live. *)
+
+val dirty_ttl : int
+val dirty_src_ip : int
+val dirty_dst_ip : int
+val dirty_src_port : int
+val dirty_dst_port : int
+
+val apply_hdr :
+  t ->
+  dirty:int ->
+  ttl:int ->
+  src_ip:int ->
+  dst_ip:int ->
+  src_port:int ->
+  dst_port:int ->
+  int
+(** Returns the checksum word now stored in the header (recomputed if
+    any IP word was dirty, unchanged otherwise), so the caller can
+    refresh a cached copy without re-reading the bytes. *)
+
 (** {2 GRE encapsulation}
 
     Maglev forwards packets to backends inside GRE tunnels (NSDI'16

@@ -327,7 +327,7 @@ let run_member t (stage : Stage.t) engine batch =
     if Array.length t.drop_scratch < n then
       t.drop_scratch <- Array.make (max n (2 * Array.length t.drop_scratch)) null_packet;
     let dropped = t.drop_scratch in
-    let d = Batch.sieve batch (fun i p -> f engine batch i p) ~dropped in
+    let d = Batch.sieve_kernel batch f engine ~dropped in
     let pool = Engine.pool engine in
     for k = 0 to d - 1 do
       Mempool.free pool dropped.(k)
@@ -347,6 +347,10 @@ let exec_calls t groups batch =
     for k = 0 to Array.length grp.g_stages - 1 do
       let i = grp.g_base + k in
       if not t.skipped.(i) then begin
+        (* Byte-reading stages see canonical bytes: flush deferred
+           column writes first. Wall-clock only — the column stages
+           already charged the writes they deferred. *)
+        if Stage.access grp.g_stages.(k) = Stage.Bytes then Batch.materialize !current;
         (* Measured before [copy_batch]: a pool-pressure drop during
            the copy is charged to the stage about to run. *)
         let in_len = Batch.length !current in
@@ -359,6 +363,9 @@ let exec_calls t groups batch =
       end
     done
   done;
+  (* Ownership returns to the caller: the batch leaves with canonical
+     bytes, whatever mix of column and byte stages ran. *)
+  Batch.materialize !current;
   Ok !current
 
 (* Snapshot the batch's packets into the pipeline's reusable scratch
@@ -421,12 +428,16 @@ let exec_isolated t cells batch =
               let cur = ref b in
               for k = 0 to Array.length stages - 1 do
                 if not t.skipped.(grp.g_base + k) then begin
+                  if Stage.access stages.(k) = Stage.Bytes then Batch.materialize !cur;
                   t.m_cur <- k;
                   t.m_in.(k) <- Batch.length !cur;
                   cur := run_member t stages.(k) t.stage_engine !cur;
                   t.m_out.(k) <- Batch.length !cur
                 end
               done;
+              (* Materialize before ownership leaves the domain: the
+                 caller (and the flowcache install path) reads bytes. *)
+              Batch.materialize !cur;
               !cur)
         with
         | Ok batch' ->
@@ -499,6 +510,9 @@ let fc_ensure s n =
 let run_cached t s batch =
   let pool = Engine.pool t.engine in
   let n = Batch.length batch in
+  (* Guard capture and compare read wire bytes, and replay patches
+     them: the megaflow walk is a materialization barrier. *)
+  Batch.materialize batch;
   fc_ensure s n;
   let slow = s.fs_slow and out = s.fs_out in
   if not (Batch.is_empty slow) then Batch.clear slow;
@@ -508,7 +522,11 @@ let run_cached t s batch =
     let p = Batch.get batch i in
     let key = Batch.flow_key batch i in
     match Flowcache.access s.fc ~engine:t.engine ~key p with
-    | Flowcache.Hit_serve -> s.fs_disp.(i) <- -1
+    | Flowcache.Hit_serve ->
+      (* Replay patched header bytes behind the slot's (clean but now
+         stale) column plane. *)
+      Batch.invalidate_hdr batch i;
+      s.fs_disp.(i) <- -1
     | Flowcache.Hit_drop ->
       Mempool.free pool p;
       s.fs_disp.(i) <- -2

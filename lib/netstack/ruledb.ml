@@ -124,7 +124,7 @@ let classify t flow =
   scan 0
 
 let stage t =
-  Stage.filter ~name:"ruledb"
+  Stage.filter ~name:"ruledb" ~access:Stage.Cols
     ~hooks:[ on_mutate t ]
     (fun engine batch i p ->
       Engine.touch_packet engine p ~off:Packet.eth_header_bytes

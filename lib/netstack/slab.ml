@@ -92,6 +92,35 @@ let set_u16_be buf i v =
       Bigarray.Array1.unsafe_set a (i + 1) (Char.unsafe_chr (v land 0xff))
     end
 
+(* RFC 1071 inner loop: the sum of [words] consecutive big-endian
+   16-bit words starting at [off]. One bounds check covers the whole
+   window and the backing branch is hoisted out of the loop — checksum
+   folds run once per packet, so the per-word dispatch of
+   {!get_u16_be} is measurable. *)
+let sum_be_words buf off ~words =
+  check buf off (words * 2);
+  match buf with
+  | Heap b ->
+    let s = ref 0 in
+    for k = 0 to words - 1 do
+      let i = off + (k * 2) in
+      s :=
+        !s
+        + ((Char.code (Bytes.unsafe_get b i) lsl 8)
+          lor Char.code (Bytes.unsafe_get b (i + 1)))
+    done;
+    !s
+  | Off a ->
+    let s = ref 0 in
+    for k = 0 to words - 1 do
+      let i = off + (k * 2) in
+      s :=
+        !s
+        + ((Char.code (Bigarray.Array1.unsafe_get a i) lsl 8)
+          lor Char.code (Bigarray.Array1.unsafe_get a (i + 1)))
+    done;
+    !s
+
 (* Overlap-safe: [Bytes.blit] has memmove semantics, and the [Off]
    arm copies backward when the destination window sits above the
    source window of the same view. Distinct [Off] views never alias —

@@ -33,6 +33,11 @@ val set_u8 : buf -> int -> int -> unit
 val get_u16_be : buf -> int -> int
 val set_u16_be : buf -> int -> int -> unit
 
+val sum_be_words : buf -> int -> words:int -> int
+(** [sum_be_words buf off ~words] is the plain integer sum of [words]
+    consecutive big-endian 16-bit words starting at [off] — the RFC
+    1071 inner loop, bounds-checked once for the whole window. *)
+
 val blit : buf -> int -> buf -> int -> int -> unit
 (** Overlap-safe, memmove semantics (within one buffer too). *)
 

@@ -11,15 +11,27 @@ type kernel =
 
 type hook = (unit -> unit) -> unit
 
+(* What a kernel body touches: [Cols] bodies go through the batch's
+   header-plane columns (and flow sidecar) only and never read wire
+   bytes, so the pipeline can defer byte writeback across them; [Bytes]
+   bodies may read or write raw bytes and force the plane to
+   materialize first. [Opaque] kernels are always [Bytes]. *)
+type access = Cols | Bytes
+
 type t = {
   name : string;
   kernel : kernel;
   hooks : hook list;
+  access : access;
 }
 
-let rewrite ~name ?(hooks = []) f = { name; kernel = Rewrite f; hooks }
-let filter ~name ?(hooks = []) f = { name; kernel = Filter f; hooks }
-let opaque ~name ?(hooks = []) f = { name; kernel = Opaque f; hooks }
+let rewrite ~name ?(hooks = []) ?(access = Bytes) f =
+  { name; kernel = Rewrite f; hooks; access }
+
+let filter ~name ?(hooks = []) ?(access = Bytes) f =
+  { name; kernel = Filter f; hooks; access }
+
+let opaque ~name ?(hooks = []) f = { name; kernel = Opaque f; hooks; access = Bytes }
 
 (* Compatibility constructor: a pre-descriptor batch closure is an
    opaque kernel (the pipeline cannot see through it, so it fuses with
@@ -29,6 +41,7 @@ let make ~name process = opaque ~name process
 let name t = t.name
 let kernel t = t.kernel
 let hooks t = t.hooks
+let access t = t.access
 let with_hooks hooks t = { t with hooks }
 
 let fusible t = match t.kernel with Rewrite _ | Filter _ -> true | Opaque _ -> false
@@ -38,14 +51,22 @@ let fusible t = match t.kernel with Rewrite _ | Filter _ -> true | Opaque _ -> f
    pass, in encounter order (the mempool free list is LIFO, so the
    order is observable through later allocation addresses). *)
 let process t engine batch =
-  match t.kernel with
-  | Opaque f -> f engine batch
-  | Rewrite f ->
-    for i = 0 to Batch.length batch - 1 do
-      f engine batch i (Batch.get batch i)
-    done;
-    batch
-  | Filter f ->
-    let dropped = Batch.filteri_in_place batch (fun i p -> f engine batch i p) in
-    List.iter (fun p -> Mempool.free (Engine.pool engine) p) dropped;
-    batch
+  (* Standalone runs follow the same barrier discipline as the
+     pipeline: a byte-touching body sees canonical bytes, and the batch
+     handed back is materialized. Both passes are wall-clock only. *)
+  if t.access = Bytes then Batch.materialize batch;
+  let out =
+    match t.kernel with
+    | Opaque f -> f engine batch
+    | Rewrite f ->
+      for i = 0 to Batch.length batch - 1 do
+        f engine batch i (Batch.get batch i)
+      done;
+      batch
+    | Filter f ->
+      let dropped = Batch.filteri_in_place batch (fun i p -> f engine batch i p) in
+      List.iter (fun p -> Mempool.free (Engine.pool engine) p) dropped;
+      batch
+  in
+  Batch.materialize out;
+  out

@@ -41,17 +41,37 @@ type hook = (unit -> unit) -> unit
 (** A subscription registrar: [hook f] arranges for [f] to run on every
     mutation of the state behind the hook. *)
 
+type access =
+  | Cols
+      (** The body reads/writes header fields only through the batch's
+          header-plane columns ({!Batch.col_ttl} ...) and the flow
+          sidecar; it never touches wire bytes. The pipeline may defer
+          byte writeback across any run of [Cols] stages. *)
+  | Bytes
+      (** The body may read or write raw packet bytes; the pipeline
+          materializes the header plane before running it. The safe
+          default — a [Bytes] marking is never wrong, only slower. *)
+
 type t = {
   name : string;
   kernel : kernel;
   hooks : hook list;
+  access : access;
 }
 
 val rewrite :
-  name:string -> ?hooks:hook list -> (Engine.t -> Batch.t -> int -> Packet.t -> unit) -> t
+  name:string ->
+  ?hooks:hook list ->
+  ?access:access ->
+  (Engine.t -> Batch.t -> int -> Packet.t -> unit) ->
+  t
 
 val filter :
-  name:string -> ?hooks:hook list -> (Engine.t -> Batch.t -> int -> Packet.t -> bool) -> t
+  name:string ->
+  ?hooks:hook list ->
+  ?access:access ->
+  (Engine.t -> Batch.t -> int -> Packet.t -> bool) ->
+  t
 
 val opaque :
   name:string -> ?hooks:hook list -> (Engine.t -> Batch.t -> Batch.t) -> t
@@ -64,6 +84,9 @@ val make : name:string -> (Engine.t -> Batch.t -> Batch.t) -> t
 val name : t -> string
 val kernel : t -> kernel
 val hooks : t -> hook list
+
+val access : t -> access
+(** {!Opaque} kernels are always [Bytes]. *)
 
 val with_hooks : hook list -> t -> t
 (** Replace the declared hooks (e.g. [with_hooks []] severs a stage

@@ -609,6 +609,76 @@ let test_forgetful_stage_caught_by_audit () =
   ignore (Nic.tx_batch nic out);
   Mempool.assert_no_leaks pool
 
+(* The header-plane twin of [sidecar_consistent]: after a full
+   materialize every slot's plane must agree with a fresh parse of its
+   wire bytes ([hdr_consistent] passes vacuously on dirty or plane-less
+   slots, so materializing first makes the check sharp). *)
+let plane_consistent b =
+  Batch.materialize b;
+  let ok = ref true in
+  for i = 0 to Batch.length b - 1 do
+    ok := !ok && Batch.hdr_consistent b i
+  done;
+  !ok
+
+let test_col_stages_keep_plane_consistent () =
+  let clock, pool, engine, nic = audit_env () in
+  let mg = Maglev.create ~clock ~backends () in
+  let nat = Nat.create ~clock ~external_ip:0xC6336401 () in
+  (* Every column rewriter in the catalog, plus the byte twins — the
+     twins store straight to wire bytes, so they must drop the plane
+     (the regression behind this audit: a stale rx-seeded plane
+     shadowing rewritten bytes). *)
+  let catalog =
+    [
+      Filters.ttl_decrement;
+      Filters.maglev mg;
+      Nat.stage nat;
+      Filters.ttl_decrement_bytes;
+      Filters.maglev_bytes mg;
+      Nat.stage_bytes nat;
+    ]
+  in
+  List.iter
+    (fun (stage : Stage.t) ->
+      let b = Nic.rx_batch nic 16 in
+      let out = Stage.process stage engine b in
+      if not (plane_consistent out) then
+        Alcotest.failf "stage %s left a stale header plane" stage.Stage.name;
+      if not (sidecar_consistent out) then
+        Alcotest.failf "stage %s left a stale flow sidecar" stage.Stage.name;
+      ignore (Nic.tx_batch nic out))
+    catalog;
+  Mempool.assert_no_leaks pool
+
+let test_forgetful_column_rewriter_caught () =
+  let _clock, pool, _engine, nic = audit_env () in
+  (* Per column: write the value without its dirty bit (the fault a
+     rewriter bypassing [set_col_*] would introduce). The plane then
+     claims to be clean while disagreeing with the wire bytes, which is
+     exactly what [hdr_consistent] exists to catch. *)
+  let pokes =
+    [
+      ("ttl", `Ttl 7);
+      ("src-ip", `Src_ip 0x01020304);
+      ("dst-ip", `Dst_ip 0x05060708);
+      ("src-port", `Src_port 4);
+      ("dst-port", `Dst_port 5);
+    ]
+  in
+  List.iter
+    (fun (label, poke) ->
+      let b = Nic.rx_batch nic 8 in
+      if not (plane_consistent b) then Alcotest.failf "%s: batch dirty at rx" label;
+      Batch.poke_col_for_test b 0 poke;
+      if Batch.hdr_consistent b 0 then
+        Alcotest.failf "%s: forgetful column write not caught" label;
+      if not (Batch.hdr_consistent b 1) then
+        Alcotest.failf "%s: audit flagged an untouched slot" label;
+      ignore (Nic.tx_batch nic b))
+    pokes;
+  Mempool.assert_no_leaks pool
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -651,5 +721,9 @@ let () =
             test_mutating_stages_keep_sidecar_consistent;
           Alcotest.test_case "forgetful rewriter is caught" `Quick
             test_forgetful_stage_caught_by_audit;
+          Alcotest.test_case "catalog stages keep the header plane consistent" `Quick
+            test_col_stages_keep_plane_consistent;
+          Alcotest.test_case "forgetful column rewriter is caught, per column" `Quick
+            test_forgetful_column_rewriter_caught;
         ] );
     ]

@@ -414,9 +414,13 @@ let make_loaded_batch engine n =
 let test_filter_ttl_drops_expired () =
   let engine = make_env () in
   let _nic, batch = make_loaded_batch engine 8 in
-  (* Force two packets to TTL 1: they must be dropped and freed. *)
+  (* Force two packets to TTL 1: they must be dropped and freed. A
+     byte-level mutation behind the batch's back, so the header plane
+     seeded at rx must be dropped like any byte rewriter would. *)
   Packet.set_ttl (Batch.get batch 0) 1;
+  Batch.invalidate_hdr batch 0;
   Packet.set_ttl (Batch.get batch 3) 1;
+  Batch.invalidate_hdr batch 3;
   let before = Mempool.in_use (Engine.pool engine) in
   let batch = Stage.process Filters.ttl_decrement engine batch in
   Alcotest.(check int) "two dropped" 6 (Batch.length batch);

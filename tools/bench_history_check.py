@@ -13,6 +13,12 @@ Two append-discipline gates on top of per-line shape:
   - no two lines may be byte-identical; a duplicated line is a botched
     rebase or a double-run of `make bench-json`, and it silently skews
     any averaged trajectory. Several runs on the same *date* are fine.
+
+One advisory (warn-only, never fails the check): a row whose
+ns_per_run swings by more than 2x between consecutive lines. On
+identical code that is measurement jitter the best-of-N windows should
+have absorbed; across commits it is a real cliff either way — both are
+worth a human look, neither should block CI.
 """
 
 import json
@@ -22,8 +28,10 @@ import sys
 def main(path: str) -> int:
     bad = 0
     rows = 0
+    warned = 0
     prev_date = None
     prev_date_line = 0
+    prev_ns = {}
     seen_lines = {}
     with open(path) as f:
         for n, line in enumerate(f, 1):
@@ -67,6 +75,21 @@ def main(path: str) -> int:
                 continue
             prev_date, prev_date_line = date, n
             rows += 1
+            cur_ns = {r["name"]: float(r["ns_per_run"]) for r in results}
+            for name, ns in cur_ns.items():
+                old = prev_ns.get(name)
+                if old is None or old <= 0 or ns <= 0:
+                    continue
+                ratio = ns / old
+                if ratio > 2.0 or ratio < 0.5:
+                    print(
+                        f"{path}:{n}: warning: '{name}' swung"
+                        f" {old:.1f} -> {ns:.1f} ns ({ratio:.2f}x)"
+                        " vs the previous line",
+                        file=sys.stderr,
+                    )
+                    warned += 1
+            prev_ns = cur_ns
             mpps = {r["name"]: r["mpps"] for r in results if "mpps" in r}
             direct = mpps.get("throughput: maglev NF, direct")
             summary = f" direct={direct:.3f} Mpps" if direct is not None else ""
@@ -74,6 +97,8 @@ def main(path: str) -> int:
     if rows == 0:
         print(f"{path}: no history rows", file=sys.stderr)
         return 1
+    if warned:
+        print(f"{path}: {warned} row swing(s) > 2x — advisory only", file=sys.stderr)
     return 1 if bad else 0
 
 
