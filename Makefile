@@ -2,7 +2,8 @@
 	ckpt-incr ckpt-incr-golden stats scale scale-determinism storm storm-determinism \
 	flowcache flowcache-golden flowcache-determinism fusion fusion-golden \
 	fusion-determinism recover recover-golden recover-determinism soa soa-golden \
-	soa-determinism determinism corpus examples doc clean loc
+	soa-determinism reverify reverify-golden reverify-determinism determinism \
+	corpus corpus-ifc examples doc clean loc
 
 all: build test
 
@@ -198,12 +199,36 @@ soa-determinism:
 	diff test/golden/soa_stats.txt /tmp/soa-1.txt
 	@echo "soa determinism: OK (1/2/4 shards byte-identical, identities hold, golden OK)"
 
+# E21: incremental summary-cached IFC reverification (full run, with
+# the wall-clock warm-vs-cold race appended).
+reverify:
+	dune exec bin/repro.exe -- reverify
+
+# The deterministic sections (corpus shape, per-round hit/recompute
+# counts, speedups, verdicts, telemetry) against the golden.
+reverify-golden:
+	dune exec bin/repro.exe -- reverify --stats-only > /tmp/reverify-now.txt
+	diff test/golden/reverify_stats.txt /tmp/reverify-now.txt
+	@echo "reverify golden: OK"
+
+# E21's determinism claims, mirrored by CI: the edit/reverify ledger
+# must replay byte-identically (there is no sharding axis here — the
+# cache is a single handle by design), every round must match the
+# from-scratch verifier, and the golden must hold.
+reverify-determinism:
+	dune exec bin/repro.exe -- reverify --stats-only > /tmp/reverify-a.txt
+	dune exec bin/repro.exe -- reverify --stats-only > /tmp/reverify-b.txt
+	diff /tmp/reverify-a.txt /tmp/reverify-b.txt
+	@! grep -E "cold-equal *no|\[MISS\]" /tmp/reverify-a.txt
+	diff test/golden/reverify_stats.txt /tmp/reverify-a.txt
+	@echo "reverify determinism: OK (two runs byte-identical, cold-equivalent, golden OK)"
+
 # One entry point for every determinism gate, so CI can be a matrix
 # over TARGET instead of four copy-pasted jobs:
-#   make determinism TARGET=scale|storm|flowcache|fusion|recover|soa
+#   make determinism TARGET=scale|storm|flowcache|fusion|recover|soa|reverify
 determinism:
 ifndef TARGET
-	$(error determinism requires TARGET=scale|storm|flowcache|fusion|recover|soa)
+	$(error determinism requires TARGET=scale|storm|flowcache|fusion|recover|soa|reverify)
 endif
 	$(MAKE) $(TARGET)-determinism
 
@@ -211,6 +236,12 @@ endif
 # deterministic byte surgery, so the tree is reproducible.
 corpus:
 	dune exec tools/gen_corpus.exe -- test/corpus
+
+# Regenerate the committed IFC program corpus (test/corpus-ifc/) —
+# deterministic generator output rendered to concrete syntax, so the
+# tree is reproducible bit-for-bit.
+corpus-ifc:
+	dune exec tools/gen_ifc_corpus.exe -- test/corpus-ifc
 
 examples:
 	dune exec examples/quickstart.exe

@@ -115,6 +115,16 @@ let bench_incr_sync name ~dirty_pct =
   let step = Experiments.Ckpt_incr.bench_incr ~mode:Chkpt.Incr.Serial ~dirty_pct in
   Test.make ~name (Staged.stage step)
 
+(* E21: summary-cached reverification over the generated 500-function
+   corpus. The compositional row hits Summary's per-instance memo after
+   the first run, so it prices summary {e application} (the main pass),
+   directly comparable with the cache-hit row; [cold] rebuilds from an
+   empty cache every run; [warm] edits 1% of bodies before each run —
+   the steady-state editing workload. Exact inlining takes ~500ms on
+   this corpus (path re-emission), far past the per-run quota, so the
+   exact strategy keeps its store-32 row above. *)
+let bench_reverify name setup = Test.make ~name (Staged.stage (setup ()))
+
 let tests =
   Test.make_grouped ~name:"beyond-safety" ~fmt:"%s %s"
     [
@@ -139,6 +149,12 @@ let tests =
       bench_checkpoint "fig3: checkpoint 500-rule DB (naive)" Chkpt.Checkpointable.Naive;
       bench_incr_sync "e16: incremental sync 500-rule DB (1% dirty)" ~dirty_pct:1;
       bench_incr_sync "e16: incremental sync 500-rule DB (10% dirty)" ~dirty_pct:10;
+      bench_verify "e21: verify gen-500 (compositional)" Ifc.Verifier.Compositional
+        (Ifc.Gen.generate Ifc.Gen.default);
+      bench_reverify "e21: ifc summary cold (gen-500)" Experiments.Reverify.bench_cold;
+      bench_reverify "e21: ifc summary hit (gen-500)" Experiments.Reverify.bench_hit;
+      bench_reverify "e21: ifc summary warm-1pct (gen-500)" (fun () ->
+          Experiments.Reverify.bench_warm ());
     ]
 
 (* Sorted [(name, ns_per_run)] rows — the JSON emitter and the printed

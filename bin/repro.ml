@@ -602,6 +602,64 @@ let soa_cmd =
   in
   Cmd.v (Cmd.info "soa" ~doc) Term.(const run $ rounds $ batch $ shards $ stats_only)
 
+let reverify_cmd =
+  let doc =
+    "Run the incremental summary-cached IFC reverification experiment (E21): generate an \
+     N-function Safe-dialect program, verify it cold through a persistent summary cache, \
+     then edit ~1% of the function bodies per round and reverify — only the dirty cone \
+     (edited functions + transitive callers) is recomputed, with reports byte-identical to \
+     a from-scratch compositional run."
+  in
+  let funcs =
+    let doc = "Functions in the generated program." in
+    Arg.(value & opt int Experiments.Reverify.default_funcs & info [ "funcs" ] ~docv:"N" ~doc)
+  in
+  let depth =
+    let doc = "Call-chain depth (bounds every dirty cone)." in
+    Arg.(value & opt int Experiments.Reverify.default_depth & info [ "depth" ] ~docv:"N" ~doc)
+  in
+  let edits =
+    let doc = "Function bodies edited per round (default: 1% of --funcs)." in
+    Arg.(value & opt (some int) None & info [ "edits" ] ~docv:"N" ~doc)
+  in
+  let iters =
+    let doc = "Edit+reverify rounds." in
+    Arg.(value & opt int Experiments.Reverify.default_iters & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "Program-generator seed (edit seeds derive from it)." in
+    Arg.(value & opt int64 Experiments.Reverify.default_seed & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let stats_only =
+    let doc =
+      "Print only the deterministic section (generated-program shape, hit/miss/recompute \
+       counts, transfer speedups, equivalence and dirty-cone checks, telemetry — no \
+       wall-clock anywhere), so repeated runs — and the golden \
+       test/golden/reverify_stats.txt — diff byte-for-byte."
+    in
+    Arg.(value & flag & info [ "stats-only" ] ~doc)
+  in
+  let run funcs depth edits iters seed stats_only =
+    if funcs <= 0 || depth <= 0 || iters < 0 then begin
+      prerr_endline "repro reverify: --funcs and --depth must be positive, --iters >= 0";
+      exit 1
+    end;
+    let edits = match edits with Some e -> e | None -> max 1 (funcs / 100) in
+    if edits < 0 || edits > funcs then begin
+      prerr_endline "repro reverify: --edits must be in [0, funcs]";
+      exit 1
+    end;
+    Experiments.Reverify.print_stats
+      (Experiments.Reverify.run_stats ~funcs ~depth ~edits ~iters ~seed ());
+    if not stats_only then begin
+      print_newline ();
+      Experiments.Reverify.print_wall
+        (Experiments.Reverify.run_wall ~funcs ~depth ~edits ~seed ())
+    end
+  in
+  Cmd.v (Cmd.info "reverify" ~doc)
+    Term.(const run $ funcs $ depth $ edits $ iters $ seed $ stats_only)
+
 let verify_cmd =
   let doc =
     "Parse a Mir source file (see examples/programs/*.mir) and verify it: linearity \
@@ -617,6 +675,7 @@ let verify_cmd =
         [
           ("exact", Ifc.Verifier.Exact);
           ("compositional", Ifc.Verifier.Compositional);
+          ("incremental", Ifc.Verifier.Incremental);
           ("naive", Ifc.Verifier.Naive_no_alias);
           ("andersen", Ifc.Verifier.Andersen);
         ]
@@ -625,7 +684,7 @@ let verify_cmd =
       value
       & opt (some strategy_conv) None
       & info [ "strategy"; "s" ] ~docv:"STRATEGY"
-          ~doc:"Analysis strategy: exact, compositional, naive, or andersen.")
+          ~doc:"Analysis strategy: exact, compositional, incremental, naive, or andersen.")
   in
   let execute =
     Arg.(
@@ -686,5 +745,6 @@ let () =
             fusion_cmd;
             recover_cmd;
             soa_cmd;
+            reverify_cmd;
             verify_cmd;
           ]))

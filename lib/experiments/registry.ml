@@ -154,6 +154,18 @@ let all =
       run = (fun ~quick -> Soa_ablation.print (Soa_ablation.run ~quick ()));
     };
     {
+      id = "reverify";
+      description = "E21 (extension): incremental summary-cached IFC reverification";
+      run =
+        (fun ~quick ->
+          let funcs = if quick then 200 else Reverify.default_funcs in
+          let iters = if quick then 2 else Reverify.default_iters in
+          let edits = max 1 (funcs / 100) in
+          Reverify.print_stats (Reverify.run_stats ~funcs ~edits ~iters ());
+          print_newline ();
+          Reverify.print_wall (Reverify.run_wall ~funcs ~edits ()));
+    };
+    {
       id = "ablations";
       description = "A1-A3: design-choice ablations";
       run =

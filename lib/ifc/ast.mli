@@ -91,6 +91,9 @@ val program :
 val find_func : program -> string -> func option
 val find_channel : program -> string -> channel option
 
+val iter_stmts : (stmt -> unit) -> stmt list -> unit
+(** Pre-order traversal, descending into [If]/[While] blocks. *)
+
 (** {2 Well-formedness}
 
     {!validate} rejects structurally broken programs: [Alias] in the
@@ -101,6 +104,18 @@ val find_channel : program -> string -> channel option
 type validation_error = { vline : int; reason : string }
 
 val validate : program -> (unit, validation_error list) result
+
+val validate_incremental : program -> dirty:func list -> (unit, validation_error list) result
+(** {!validate} restricted to [main], the [dirty] functions, and call
+    cycles reachable from them. Sound only when every function outside
+    [dirty] is byte-identical to one in a program that already passed
+    {!validate} under the same declarations (dialect, channel names,
+    function arities): per-statement validity depends on nothing else,
+    and a new call cycle must pass through an edited function — edges
+    out of unchanged bodies are unchanged, and a cycle made only of
+    those existed in the already-validated program. {!Summary_cache}
+    maintains exactly this invariant via its declaration fingerprint
+    and falls back to the full {!validate} when it breaks. *)
 
 val stmt_count : program -> int
 (** Total statements including nested blocks and function bodies. *)

@@ -128,12 +128,29 @@ let dedup_sort vs =
   in
   List.sort (fun a b -> compare (a.line, a.var) (b.line, b.var)) keep
 
-let check (program : Ast.program) =
+(* The checker is per-body independent: [main] starts from an empty
+   environment, each function from just its (live) parameters, and no
+   state flows between bodies. These two entry points expose the
+   per-body pieces (in discovery order) so Summary_cache can cache a
+   function's violations keyed on its body fingerprint. *)
+let main_violations stmts =
   let ctx = { violations = [] } in
-  ignore (block ctx Env.empty program.main);
-  List.iter
-    (fun (f : Ast.func) ->
-      let env = List.fold_left bind Env.empty f.params in
-      ignore (block ctx env f.body))
-    program.funcs;
-  match dedup_sort ctx.violations with [] -> Ok () | vs -> Error vs
+  ignore (block ctx Env.empty stmts);
+  List.rev ctx.violations
+
+let func_violations (f : Ast.func) =
+  let ctx = { violations = [] } in
+  let env = List.fold_left bind Env.empty f.params in
+  ignore (block ctx env f.body);
+  List.rev ctx.violations
+
+let finalize vs = match dedup_sort vs with [] -> Ok () | vs -> Error vs
+
+let check (program : Ast.program) =
+  let disc =
+    main_violations program.main @ List.concat_map func_violations program.funcs
+  in
+  (* [List.rev]: the one-ctx implementation this replaces accumulated
+     by prepending, and [finalize]'s dedup/stable-sort sees the same
+     list order — byte-identical output. *)
+  finalize (List.rev disc)

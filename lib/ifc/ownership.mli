@@ -26,5 +26,23 @@ val check : Ast.program -> (unit, violation list) result
     function bodies reached via calls with the caller's argument
     states. The program should already pass {!Ast.validate}. *)
 
+(** {2 Per-body pieces}
+
+    The check is per-body independent — no state flows between [main]
+    and the function bodies — so {!Summary_cache} caches each
+    function's violations keyed on its body fingerprint and reassembles
+    the whole-program result. [check p] is exactly
+    [finalize (List.rev (main_violations p.main @ concat-map
+    func_violations p.funcs))]. *)
+
+val main_violations : Ast.stmt list -> violation list
+(** Violations of a main block, in discovery order (not deduplicated). *)
+
+val func_violations : Ast.func -> violation list
+(** Violations of one function body, parameters live, discovery order. *)
+
+val finalize : violation list -> (unit, violation list) result
+(** De-duplicate and sort, as {!check} does before reporting. *)
+
 val violation_to_string : violation -> string
 val pp_violation : Format.formatter -> violation -> unit

@@ -32,6 +32,28 @@ type t = {
 val eval : sym -> Label.t array -> Label.t
 (** Instantiate a symbolic label with concrete argument labels. *)
 
+val dependency_order : Ast.program -> Ast.func list
+(** Topological order of the (acyclic) call graph, callees first —
+    the order in which summaries must be built so that every call
+    site finds its callee's summary already computed. Covers every
+    declared function, reachable from [main] or not. *)
+
+val summarize_one :
+  program:Ast.program -> summaries:(string, t) Hashtbl.t -> Ast.func -> t * int
+(** Summarize a single function against an explicit summary table
+    (which must already hold entries for all its callees — see
+    {!dependency_order}). Stores the result into [summaries] and
+    returns it together with the number of transfer applications
+    spent. This is the unit of work {!Summary_cache} memoizes. *)
+
+val check_main : program:Ast.program -> summaries:(string, t) Hashtbl.t -> Abstract.report
+(** The main-body pass alone: runs [main] symbolically against the
+    given summary table and ground-checks every accumulated output
+    and assertion against the channel bounds. The report's
+    [transfers] covers only this pass. Channel bounds are read here
+    and {e only} here — which is why {!Summary_cache} can leave them
+    out of its fingerprints. *)
+
 val summarize : Ast.program -> (t list, string) result
 (** Summaries for every function, in dependency order. [Error] for
     Aliased-dialect programs (or recursion, which {!Ast.validate}
@@ -42,4 +64,9 @@ val analyze_compositional : Ast.program -> (Abstract.report, string) result
 (** Full verification of [main] using summaries at call sites. The
     report's [transfers] includes both summary construction and the
     main-body pass — directly comparable with
-    [Abstract.analyze Exact_ownership], which inlines every call. *)
+    [Abstract.analyze Exact_ownership], which inlines every call.
+
+    Summary construction is memoized per program {e instance}
+    (physical equality): repeated verification of the same program
+    value pays for construction once and re-runs only the main pass,
+    while reporting the same transfer count either way. *)

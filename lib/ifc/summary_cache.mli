@@ -1,0 +1,92 @@
+(** Incremental summary-cached verification — O(changed summaries)
+    reverification after an edit.
+
+    {!Summary} already exploits the paper's §4 observation (no
+    aliasing ⇒ a function's label effect is confined to its
+    arguments) to verify compositionally, but every verification
+    still rebuilds all summaries. This module caches them across
+    verifications of {e different} program versions, keyed on an
+    FNV-64 fingerprint of the function's body AST {e plus the
+    fingerprints of its callees' summaries} — so an edit invalidates
+    exactly the dirty cone above it (the edited function and its
+    transitive callers), and [reverify] recomputes only those
+    summaries plus the always-rerun main pass.
+
+    Why the fingerprint is a complete invalidation record: in the
+    safe dialect a summary is a pure function of (body AST, callee
+    summaries) — no aliasing means no hidden state a summary could
+    depend on — and both inputs are covered directly. Keying on the
+    callees' {e summary} fingerprints (not their content) also gives
+    the build-system "early cutoff": an edit whose recomputed summary
+    comes out identical stops invalidation right there, so its
+    callers stay hits. Channel bounds are deliberately {e not}
+    fingerprinted: they are consulted only by the main-pass ground
+    check, which every [reverify] reruns, so policy edits are always
+    picked up at zero invalidation cost. DESIGN.md §16 develops the
+    argument.
+
+    The warm path is engineered to be O(dirty cone) with small-O(n)
+    constants: fingerprints are unboxed native-int FNV streamed over
+    the AST (no serialization buffer), a function record physically
+    equal to the one fingerprinted last time skips rehashing
+    entirely, validation runs incrementally ({!Ast.validate_incremental})
+    while a declaration fingerprint holds, and per-body ownership
+    violations are cached alongside each summary
+    ({!Ownership.func_violations} is per-body independent).
+
+    Hit/miss/recompute counts are recorded on the registry's
+    [ifc.summary.hits] / [ifc.summary.misses] /
+    [ifc.summary.recomputed] counters and returned per call. *)
+
+type t
+(** A persistent cache handle. Feed successive versions of a program
+    to {!reverify} against the same handle; the cache converges to
+    one entry per declared function. *)
+
+type stats = {
+  hits : int;        (** Summaries reused from the cache. *)
+  misses : int;      (** Functions never seen before (cold). *)
+  recomputed : int;  (** Summaries rebuilt: misses + stale fingerprints. *)
+  transfers : int;   (** Transfer applications spent: rebuilt summaries
+                         + the main pass. *)
+}
+
+val create : ?telemetry:Telemetry.Registry.t -> unit -> t
+(** Counters are minted on [telemetry] (default
+    {!Telemetry.Registry.global}). *)
+
+val size : t -> int
+(** Cached entries (= functions of the last committed program). *)
+
+val clear : t -> unit
+
+val reverify :
+  ?sever_callee_fps:bool ->
+  t ->
+  Ast.program ->
+  (Abstract.report * Ownership.violation list * stats, string) result
+(** Verify [program] end-to-end — validation, ownership, label flows —
+    reusing every cached result whose fingerprint still matches and
+    recomputing the rest bottom-up in dependency order. The verdict
+    components are byte-identical to a from-scratch run: findings
+    match {!Summary.analyze_compositional} and the violation list
+    matches {!Ownership.check}, because a matching fingerprint pins
+    everything the cached value was computed from. The report's
+    [transfers] counts only work actually performed, which is the E21
+    speedup metric.
+
+    Validation runs first in spirit: a program that fails
+    {!Ast.validate} returns [Error] with the same message
+    {!Verifier.verify} would produce, and the cache is left exactly
+    as it was (entries are staged and committed only on success).
+    While the declaration fingerprint (dialect, channel names,
+    arities) is stable, only [main] and edited bodies are revalidated
+    — see {!Ast.validate_incremental} for the soundness argument.
+
+    [sever_callee_fps:true] (tests only) drops the callee-summary
+    term from the fingerprint, leaving callers stale when only a
+    callee's behaviour changed — the negative control showing the
+    term is load-bearing. Use the same flag for every call on a given
+    handle; mixing modes just forces recomputes.
+
+    [Error] for Aliased-dialect programs. *)

@@ -1,4 +1,4 @@
-type strategy = Exact | Compositional | Naive_no_alias | Andersen
+type strategy = Exact | Compositional | Incremental | Naive_no_alias | Andersen
 
 type verdict = Verified | Rejected
 
@@ -15,6 +15,7 @@ type report = {
 let strategy_name = function
   | Exact -> "exact-ownership"
   | Compositional -> "compositional-summaries"
+  | Incremental -> "incremental-summaries"
   | Naive_no_alias -> "naive-no-alias"
   | Andersen -> "andersen-points-to"
 
@@ -29,13 +30,13 @@ let verify ?strategy (program : Ast.program) =
   | Ok () -> (
     let strategy = Option.value ~default:(default_strategy program) strategy in
     match (strategy, program.dialect) with
-    | (Exact | Compositional), Aliased ->
+    | (Exact | Compositional | Incremental), Aliased ->
       Error
         (Printf.sprintf "strategy %s requires the safe dialect" (strategy_name strategy))
-    | (Exact | Compositional | Naive_no_alias | Andersen), _ ->
+    | (Exact | Compositional | Incremental | Naive_no_alias | Andersen), _ ->
       let ownership_errors =
         match strategy with
-        | Exact | Compositional -> (
+        | Exact | Compositional | Incremental -> (
           match Ownership.check program with Ok () -> [] | Error vs -> vs)
         | Naive_no_alias | Andersen -> []
       in
@@ -52,6 +53,12 @@ let verify ?strategy (program : Ast.program) =
         | Compositional -> (
           match Summary.analyze_compositional program with
           | Ok r -> Ok (r, 0, 0)
+          | Error e -> Error e)
+        | Incremental -> (
+          (* A one-shot cold run: every function misses. The win
+             needs a persistent handle — see [reverify]. *)
+          match Summary_cache.reverify (Summary_cache.create ()) program with
+          | Ok (r, _, _) -> Ok (r, 0, 0)
           | Error e -> Error e)
       in
       (match analysis with
@@ -70,6 +77,29 @@ let verify ?strategy (program : Ast.program) =
             alias_locations;
             alias_iterations;
           }))
+
+let reverify (cache : Summary_cache.t) (program : Ast.program) =
+  (* Validation and ownership run inside the cache, incrementally —
+     repeating them here would put a whole-program pass back on the
+     warm path. Invalid programs produce the same error string
+     [verify] does. *)
+  match Summary_cache.reverify cache program with
+  | Error e -> Error e
+  | Ok (r, ownership_errors, stats) ->
+    let verdict =
+      if ownership_errors = [] && r.Abstract.findings = [] then Verified else Rejected
+    in
+    Ok
+      ( {
+          strategy = Incremental;
+          verdict;
+          ownership_errors;
+          findings = r.Abstract.findings;
+          transfers = r.Abstract.transfers;
+          alias_locations = 0;
+          alias_iterations = 0;
+        },
+        stats )
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>strategy: %s@,verdict: %s@," (strategy_name r.strategy)

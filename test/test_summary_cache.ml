@@ -1,0 +1,250 @@
+(* The incremental summary cache test harness.
+
+   Three concerns, in order:
+
+   - lifecycle: cold runs miss every function, replays hit every
+     function, [clear] forgets everything, deleted functions are
+     pruned, invalid programs leave the cache untouched, and the
+     telemetry counters agree with the per-call stats;
+   - equivalence: over random generated programs and random edit
+     scripts, a warm [Verifier.reverify] must produce byte-identical
+     verdict/ownership/findings to a from-scratch Compositional
+     verify of the same program version, while recomputing no more
+     summaries than the dirty cone (edited functions + transitive
+     callers) allows;
+   - the negative control: severing the callee-summary term from the
+     fingerprint ([sever_callee_fps:true]) must make a caller go
+     stale when only its callee's behaviour changed — demonstrating
+     the term is load-bearing, not decorative. *)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" what e
+
+(* Fields that legitimately differ between a cached and a cold run
+   (strategy name, transfer count) are normalized away; verdict,
+   ownership errors and findings must match byte-for-byte. *)
+let report_body (r : Ifc.Verifier.report) =
+  Format.asprintf "%a" Ifc.Verifier.pp_report
+    { r with Ifc.Verifier.strategy = Ifc.Verifier.Compositional; transfers = 0 }
+
+(* Bust Summary's per-instance memo so the cold baseline really is a
+   from-scratch run. *)
+let fresh_instance (p : Ifc.Ast.program) = { p with Ifc.Ast.main = p.Ifc.Ast.main }
+
+let cold_report p =
+  match Ifc.Verifier.verify ~strategy:Ifc.Verifier.Compositional (fresh_instance p) with
+  | Ok r -> Ok r
+  | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let small_spec = { Ifc.Gen.default with Ifc.Gen.funcs = 60; depth = 6; body_len = 4 }
+
+let test_cold_then_hit () =
+  let p = Ifc.Gen.generate small_spec in
+  Alcotest.(check bool) "generated program validates" true (Ifc.Ast.validate p = Ok ());
+  let reg = Telemetry.Registry.create () in
+  let cache = Ifc.Summary_cache.create ~telemetry:reg () in
+  let _, _, cold = ok "cold" (Ifc.Summary_cache.reverify cache p) in
+  Alcotest.(check int) "cold misses every function" 60 cold.Ifc.Summary_cache.misses;
+  Alcotest.(check int) "cold hits nothing" 0 cold.Ifc.Summary_cache.hits;
+  Alcotest.(check int) "cold recomputes every function" 60 cold.Ifc.Summary_cache.recomputed;
+  Alcotest.(check int) "cache holds one entry per function" 60 (Ifc.Summary_cache.size cache);
+  let _, _, hit = ok "hit" (Ifc.Summary_cache.reverify cache p) in
+  Alcotest.(check int) "replay hits every function" 60 hit.Ifc.Summary_cache.hits;
+  Alcotest.(check int) "replay misses nothing" 0 hit.Ifc.Summary_cache.misses;
+  Alcotest.(check int) "replay recomputes nothing" 0 hit.Ifc.Summary_cache.recomputed;
+  let value name = Telemetry.Counter.value (Telemetry.Registry.counter reg name) in
+  Alcotest.(check int) "ifc.summary.hits" 60 (value "ifc.summary.hits");
+  Alcotest.(check int) "ifc.summary.misses" 60 (value "ifc.summary.misses");
+  Alcotest.(check int) "ifc.summary.recomputed" 60 (value "ifc.summary.recomputed")
+
+let test_clear () =
+  let p = Ifc.Gen.generate small_spec in
+  let cache = Ifc.Summary_cache.create ~telemetry:(Telemetry.Registry.create ()) () in
+  ignore (ok "cold" (Ifc.Summary_cache.reverify cache p));
+  Ifc.Summary_cache.clear cache;
+  Alcotest.(check int) "clear empties the cache" 0 (Ifc.Summary_cache.size cache);
+  let _, _, again = ok "after clear" (Ifc.Summary_cache.reverify cache p) in
+  Alcotest.(check int) "post-clear run is cold again" 60 again.Ifc.Summary_cache.misses
+
+(* A two-deep chain whose deepest function's label is a parameter of
+   the builder: main -> f -> g, g allocs [d] and outputs it on [ch]
+   (bound {c}). With [g_label] public the program verifies; with a
+   foreign category it must be rejected at g's output. *)
+let chain_program ~g_label =
+  let stmt = Ifc.Ast.stmt in
+  let g =
+    {
+      Ifc.Ast.fname = "g";
+      params = [];
+      body =
+        [
+          stmt 10 (Ifc.Ast.Alloc { var = "d"; label = g_label });
+          stmt 11 (Ifc.Ast.Output { channel = "ch"; src = "d" });
+        ];
+    }
+  in
+  let f =
+    { Ifc.Ast.fname = "f"; params = []; body = [ stmt 20 (Ifc.Ast.Call { func = "g"; args = [] }) ] }
+  in
+  Ifc.Ast.program ~dialect:Ifc.Ast.Safe
+    ~channels:[ { Ifc.Ast.cname = "ch"; bound = Ifc.Label.singleton "c" } ]
+    ~funcs:[ g; f ]
+    [ stmt 30 (Ifc.Ast.Call { func = "f"; args = [] }) ]
+
+let test_deleted_function_pruned () =
+  let p = chain_program ~g_label:Ifc.Label.public in
+  let cache = Ifc.Summary_cache.create ~telemetry:(Telemetry.Registry.create ()) () in
+  ignore (ok "cold" (Ifc.Summary_cache.reverify cache p));
+  Alcotest.(check int) "both functions cached" 2 (Ifc.Summary_cache.size cache);
+  (* Drop f and call g directly: a declaration change, so the commit
+     sweeps entries for functions no longer declared. *)
+  let stmt = Ifc.Ast.stmt in
+  let shrunk =
+    {
+      p with
+      Ifc.Ast.funcs = List.filter (fun (fn : Ifc.Ast.func) -> fn.Ifc.Ast.fname = "g") p.Ifc.Ast.funcs;
+      main = [ stmt 30 (Ifc.Ast.Call { func = "g"; args = [] }) ];
+    }
+  in
+  ignore (ok "shrunk" (Ifc.Summary_cache.reverify cache shrunk));
+  Alcotest.(check int) "deleted function pruned" 1 (Ifc.Summary_cache.size cache)
+
+let test_invalid_program_leaves_cache_untouched () =
+  let p = chain_program ~g_label:Ifc.Label.public in
+  let cache = Ifc.Summary_cache.create ~telemetry:(Telemetry.Registry.create ()) () in
+  ignore (ok "cold" (Ifc.Summary_cache.reverify cache p));
+  let stmt = Ifc.Ast.stmt in
+  let bad = { p with Ifc.Ast.main = p.Ifc.Ast.main @ [ stmt 40 (Ifc.Ast.Call { func = "h"; args = [] }) ] } in
+  let cache_err =
+    match Ifc.Summary_cache.reverify cache bad with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "invalid program must be rejected"
+  in
+  let verify_err =
+    match Ifc.Verifier.verify bad with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "Verifier.verify must also reject it"
+  in
+  Alcotest.(check string) "same error message as Verifier.verify" verify_err cache_err;
+  let _, _, stats = ok "replay" (Ifc.Summary_cache.reverify cache p) in
+  Alcotest.(check int) "rejected version did not poison the cache" 2 stats.Ifc.Summary_cache.hits;
+  Alcotest.(check int) "nothing recomputed" 0 stats.Ifc.Summary_cache.recomputed
+
+let test_aliased_rejected () =
+  let p = Ifc.Ast.program ~dialect:Ifc.Ast.Aliased ~channels:[] ~funcs:[] [] in
+  let cache = Ifc.Summary_cache.create ~telemetry:(Telemetry.Registry.create ()) () in
+  match Ifc.Summary_cache.reverify cache p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "aliased dialect must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Negative control: the callee-summary fingerprint term              *)
+(* ------------------------------------------------------------------ *)
+
+let test_severed_callee_fp_goes_stale () =
+  let p0 = chain_program ~g_label:Ifc.Label.public in
+  let p1 = chain_program ~g_label:(Ifc.Label.singleton "x") in
+  let cold1 = ok "cold p1" (cold_report p1) in
+  Alcotest.(check bool) "the edit is flow-visible (cold rejects)" true
+    (cold1.Ifc.Verifier.verdict = Ifc.Verifier.Rejected);
+  (* Full fingerprint: f is invalidated through g's summary and the
+     warm report tracks the cold one. *)
+  let cache = Ifc.Summary_cache.create ~telemetry:(Telemetry.Registry.create ()) () in
+  ignore (ok "warmup" (Ifc.Summary_cache.reverify cache p0));
+  let r1, _, _ = ok "warm p1" (Ifc.Summary_cache.reverify cache p1) in
+  Alcotest.(check int) "unsevered warm run sees the leak" 1 (List.length r1.Ifc.Abstract.findings);
+  (* Severed fingerprint: g recomputes but f's stale summary — with
+     g's old public output baked in — survives, and the leak is
+     silently missed. That divergence is exactly what the callee
+     term prevents. *)
+  let severed = Ifc.Summary_cache.create ~telemetry:(Telemetry.Registry.create ()) () in
+  ignore (ok "severed warmup" (Ifc.Summary_cache.reverify ~sever_callee_fps:true severed p0));
+  let r1', _, _ = ok "severed p1" (Ifc.Summary_cache.reverify ~sever_callee_fps:true severed p1) in
+  Alcotest.(check int) "severed warm run misses the leak" 0 (List.length r1'.Ifc.Abstract.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence over random programs x random edit scripts             *)
+(* ------------------------------------------------------------------ *)
+
+let spec_gen =
+  QCheck.Gen.(
+    map
+      (fun (funcs, depth, body_len, channels, seed) ->
+        { Ifc.Gen.funcs; depth; body_len; channels; seed = Int64.of_int seed })
+      (tup5 (int_range 8 48) (int_range 2 6) (int_range 0 6) (int_range 1 4) (int_range 1 10_000)))
+
+let spec_print (s : Ifc.Gen.spec) =
+  Printf.sprintf "{funcs=%d; depth=%d; body_len=%d; channels=%d; seed=%Ld}" s.Ifc.Gen.funcs
+    s.Ifc.Gen.depth s.Ifc.Gen.body_len s.Ifc.Gen.channels s.Ifc.Gen.seed
+
+let script_gen = QCheck.Gen.(list_size (int_range 1 4) (pair (int_range 1 4) (int_range 1 10_000)))
+
+let arb =
+  QCheck.make
+    ~print:(fun (spec, script) ->
+      Printf.sprintf "%s script=%s" (spec_print spec)
+        (String.concat ","
+           (List.map (fun (edits, seed) -> Printf.sprintf "(%d@%d)" edits seed) script)))
+    QCheck.Gen.(pair spec_gen script_gen)
+
+let test_warm_equals_cold =
+  QCheck.Test.make ~name:"warm reverify = cold compositional, recompute bounded by dirty cone"
+    ~count:60 arb (fun (spec, script) ->
+      let program = Ifc.Gen.generate spec in
+      let cache = Ifc.Summary_cache.create ~telemetry:(Telemetry.Registry.create ()) () in
+      let cold0, _ = ok "cold reverify" (Ifc.Verifier.reverify cache program) in
+      (match cold_report program with
+      | Ok r ->
+        if not (String.equal (report_body cold0) (report_body r)) then
+          QCheck.Test.fail_reportf "cold cache run diverged from compositional"
+      | Error e -> QCheck.Test.fail_reportf "cold compositional failed: %s" e);
+      let p = ref program in
+      List.iter
+        (fun (edits, seed) ->
+          let edited_p, edited = Ifc.Gen.edit ~seed:(Int64.of_int seed) ~edits spec !p in
+          p := edited_p;
+          let warm, stats = ok "warm reverify" (Ifc.Verifier.reverify cache edited_p) in
+          let cone = Ifc.Gen.transitive_callers edited_p edited in
+          if stats.Ifc.Summary_cache.recomputed > List.length cone then
+            QCheck.Test.fail_reportf "recomputed %d > dirty cone %d"
+              stats.Ifc.Summary_cache.recomputed (List.length cone);
+          if stats.Ifc.Summary_cache.hits + stats.Ifc.Summary_cache.recomputed <> spec.Ifc.Gen.funcs
+          then
+            QCheck.Test.fail_reportf "hits %d + recomputed %d <> %d functions"
+              stats.Ifc.Summary_cache.hits stats.Ifc.Summary_cache.recomputed spec.Ifc.Gen.funcs;
+          match cold_report edited_p with
+          | Ok cold ->
+            if not (String.equal (report_body warm) (report_body cold)) then
+              QCheck.Test.fail_reportf "warm report diverged from cold:\n%s\n--- vs ---\n%s"
+                (report_body warm) (report_body cold)
+          | Error e -> QCheck.Test.fail_reportf "cold compositional failed: %s" e)
+        script;
+      true)
+
+let () =
+  Alcotest.run "summary_cache"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "cold misses, replay hits, telemetry agrees" `Quick test_cold_then_hit;
+          Alcotest.test_case "clear forgets everything" `Quick test_clear;
+          Alcotest.test_case "deleted functions are pruned on commit" `Quick
+            test_deleted_function_pruned;
+          Alcotest.test_case "invalid program rejected, cache untouched" `Quick
+            test_invalid_program_leaves_cache_untouched;
+          Alcotest.test_case "aliased dialect rejected" `Quick test_aliased_rejected;
+        ] );
+      ( "equivalence",
+        [
+          qt test_warm_equals_cold;
+          Alcotest.test_case "severed callee fingerprint goes stale (negative control)" `Quick
+            test_severed_callee_fp_goes_stale;
+        ] );
+    ]

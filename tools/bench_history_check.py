@@ -14,6 +14,13 @@ Two append-discipline gates on top of per-line shape:
     rebase or a double-run of `make bench-json`, and it silently skews
     any averaged trajectory. Several runs on the same *date* are fine.
 
+Lines that carry the E21 "ifc summary" verifier rows get one more
+shape gate: the cold and warm-1pct rows must appear together (a lone
+row means the bench matrix was edited without regenerating), and the
+warm reverify must be measurably cheaper than a cold rebuild — at
+~1% edits the designed gap is >10x, so warm >= cold on any host is a
+broken cache, not jitter. Older lines without those rows pass as-is.
+
 One advisory (warn-only, never fails the check): a row whose
 ns_per_run swings by more than 2x between consecutive lines. On
 identical code that is measurement jitter the best-of-N windows should
@@ -76,6 +83,27 @@ def main(path: str) -> int:
             prev_date, prev_date_line = date, n
             rows += 1
             cur_ns = {r["name"]: float(r["ns_per_run"]) for r in results}
+            ifc = {k: v for k, v in cur_ns.items() if "ifc summary" in k}
+            if ifc:
+                cold = [v for k, v in ifc.items() if "cold" in k]
+                warm = [v for k, v in ifc.items() if "warm" in k]
+                if not cold or not warm:
+                    print(
+                        f"{path}:{n}: ifc summary rows must come in a"
+                        f" cold/warm pair, got {sorted(ifc)}",
+                        file=sys.stderr,
+                    )
+                    bad += 1
+                    continue
+                if min(warm) >= min(cold):
+                    print(
+                        f"{path}:{n}: ifc summary warm reverify"
+                        f" ({min(warm):.1f} ns) not cheaper than cold"
+                        f" ({min(cold):.1f} ns) — cache is not caching",
+                        file=sys.stderr,
+                    )
+                    bad += 1
+                    continue
             for name, ns in cur_ns.items():
                 old = prev_ns.get(name)
                 if old is None or old <= 0 or ns <= 0:

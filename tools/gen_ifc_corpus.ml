@@ -1,0 +1,40 @@
+(* Regenerate the committed IFC program corpus (test/corpus-ifc/).
+
+   Each file is the deterministic output of Ifc.Gen on a fixed spec,
+   rendered in the concrete syntax — so the tree is reproducible
+   bit-for-bit (`make corpus-ifc` + `git diff --exit-code`). The big
+   one is the E21 reverification corpus; the small one is handy for
+   eyeballing the generator's output and for quick parser runs. *)
+
+let specs =
+  [
+    ("gen_500x10.mir", Ifc.Gen.default);
+    ("gen_60x6.mir", { Ifc.Gen.default with Ifc.Gen.funcs = 60; depth = 6; body_len = 4 });
+  ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus-ifc" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iter
+    (fun (name, spec) ->
+      let p = Ifc.Gen.generate spec in
+      (match Ifc.Ast.validate p with
+      | Ok () -> ()
+      | Error _ -> failwith (name ^ ": generated program failed validation"));
+      let src = Ifc.Parse.to_source p in
+      (* The render must reparse to a program the verifier treats the
+         same way (statement lines shift to source lines, nothing
+         else) — catch a renderer/parser drift here, not in CI. *)
+      (match Ifc.Parse.program src with
+      | Ok p' -> (
+        match Ifc.Ast.validate p' with
+        | Ok () -> ()
+        | Error _ -> failwith (name ^ ": reparse failed validation"))
+      | Error e -> failwith (name ^ ": reparse failed: " ^ Ifc.Parse.error_to_string e));
+      let path = Filename.concat dir name in
+      let oc = open_out_bin path in
+      output_string oc src;
+      close_out oc;
+      Printf.printf "wrote %s (%d functions, %d stmts)\n" path (List.length p.Ifc.Ast.funcs)
+        (Ifc.Ast.stmt_count p))
+    specs
